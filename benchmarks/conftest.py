@@ -1,0 +1,46 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure/claim of the paper's
+evaluation (see DESIGN.md §4 for the experiment index and
+EXPERIMENTS.md for recorded paper-vs-measured results).  Benchmarks
+print their series with the ``[Ex]`` experiment tag so the harness
+output is self-describing.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE=full`` runs the paper-scale configurations (E2 at
+340 peers / 17 000 triples / 23 000 queries).  The default ``quick``
+scale shrinks the workloads ~10x so the whole suite finishes in a
+couple of minutes; the *shape* of every result is preserved.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """Current scale: ``"full"`` or ``"quick"``."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def report(tag: str, line: str) -> None:
+    """Print one experiment-output line (shown with pytest -s or on
+    the captured-output section of the benchmark run)."""
+    print(f"[{tag}] {line}")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy simulation exactly once under pytest-benchmark.
+
+    The simulations are deterministic and expensive; statistical
+    repetition would only re-measure the same virtual outcome, so each
+    benchmark runs a single round and reports wall-clock for that run.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction is offline and has no
+``wheel`` package, so PEP 660 editable installs cannot build; keeping a
+``setup.py`` (and no ``[build-system]`` table in pyproject.toml) lets
+``pip install -e .`` fall back to the classic ``setup.py develop``
+path, which works without network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Self-Organizing Schema Mappings in the "
+        "GridVine Peer Data Management System' (VLDB 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

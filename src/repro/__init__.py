@@ -1,0 +1,66 @@
+"""GridVine reproduction: a self-organizing peer data management system.
+
+This package reproduces *Self-Organizing Schema Mappings in the
+GridVine Peer Data Management System* (Cudré-Mauroux et al., VLDB
+2007).  It follows the paper's three-tier architecture:
+
+``repro.simnet``
+    The *Internet layer*: a deterministic discrete-event network
+    simulator with configurable wide-area latency models and churn.
+
+``repro.pgrid``
+    The *structured overlay layer*: a from-scratch implementation of
+    the P-Grid distributed access structure (binary trie, prefix
+    routing, replica groups) exposing ``Retrieve(key)`` and
+    ``Update(key, value)``.
+
+``repro.mediation`` (with ``rdf``, ``storage``, ``schema``,
+``mapping``, ``reformulation``, ``connectivity``, ``selforg``)
+    The *semantic mediation layer*: triple storage indexed by subject,
+    predicate and object; user-defined schemas; pairwise GAV schema
+    mappings; query reformulation by view unfolding; and the
+    self-organizing loop (connectivity indicator, automatic mapping
+    creation, Bayesian mapping deprecation).
+
+``repro.datagen``
+    Synthetic bioinformatic schemas, records and query workloads used
+    by the examples and benchmarks (substituting the EBI/SRS data of
+    the original demonstration).
+
+Quickstart::
+
+    from repro import GridVineNetwork
+    net = GridVineNetwork.build(num_peers=32, seed=7)
+    peer = net.random_peer()
+    peer.insert_schema(my_schema)
+    peer.insert_triples(my_triples)
+    results = peer.search_for(my_query)
+"""
+
+from repro.rdf.terms import URI, Literal, Variable
+from repro.rdf.triples import Triple
+from repro.rdf.patterns import TriplePattern, ConjunctiveQuery
+from repro.rdf.parser import parse_search_for
+from repro.schema.model import Schema
+from repro.mapping.model import MappingKind, PredicateCorrespondence, SchemaMapping
+from repro.mediation.network import GridVineNetwork
+from repro.mediation.peer import GridVinePeer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "URI",
+    "Literal",
+    "Variable",
+    "Triple",
+    "TriplePattern",
+    "ConjunctiveQuery",
+    "parse_search_for",
+    "Schema",
+    "MappingKind",
+    "PredicateCorrespondence",
+    "SchemaMapping",
+    "GridVineNetwork",
+    "GridVinePeer",
+    "__version__",
+]

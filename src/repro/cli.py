@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands, mirroring what a demo visitor could do at the VLDB'07
+booth:
+
+``demo``
+    Run the §4 storyline end to end (corpus generation, deployment,
+    self-organization rounds, recall report).
+
+``query``
+    Deploy the bioinformatic corpus and run one ``SearchFor`` query
+    under a chosen strategy, printing results and cost.
+
+``experiments``
+    List the E1..E12 benchmark targets and how to run them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import GridVineNetwork
+from repro.datagen import BioDatasetGenerator, QueryWorkloadGenerator
+from repro.rdf.parser import ParseError, parse_search_for
+from repro.selforg import CreationPolicy, SelfOrganizationController
+
+_EXPERIMENTS = [
+    ("E1", "Figure 2 reformulation", "bench_e1_reformulation.py"),
+    ("E2", "340-peer latency CDF (40%/75% anchors)",
+     "bench_e2_latency_cdf.py"),
+    ("E3", "connectivity indicator vs giant component",
+     "bench_e3_connectivity.py"),
+    ("E4", "recall growth under self-organization",
+     "bench_e4_recall_growth.py"),
+    ("E5", "Bayesian deprecation precision/recall",
+     "bench_e5_deprecation.py"),
+    ("E6", "O(log n) routing scaling", "bench_e6_routing_scaling.py"),
+    ("E7", "triple index fan-out & routing-key rule",
+     "bench_e7_index_fanout.py"),
+    ("E8", "iterative vs recursive reformulation",
+     "bench_e8_strategies.py"),
+    ("E9", "matcher measure-combination ablation",
+     "bench_e9_matcher.py"),
+    ("E10", "exchange-based vs top-down construction",
+     "bench_e10_construction.py"),
+    ("E11", "order-preserving range queries", "bench_e11_range_queries.py"),
+    ("E12", "parallel vs bound conjunctive joins",
+     "bench_e12_join_modes.py"),
+]
+
+
+def _deploy(args) -> tuple[GridVineNetwork, object]:
+    """Build the corpus and deployment shared by demo/query."""
+    dataset = BioDatasetGenerator(
+        num_schemas=args.schemas,
+        num_entities=args.entities,
+        entities_per_schema=max(5, args.entities // 5),
+        seed=args.seed,
+    ).generate()
+    net = GridVineNetwork.build(num_peers=args.peers, seed=args.seed,
+                                replication=2)
+    for schema in dataset.schemas:
+        net.insert_schema(schema)
+    net.insert_triples(dataset.triples)
+    # seed mappings pair the schemas off: every schema touches a
+    # mapping, but the graph starts far from strongly connected, so
+    # the self-organization loop has work to do
+    names = [s.name for s in dataset.schemas]
+    for i in range(0, len(names) - 1, 2):
+        net.insert_mapping(
+            dataset.ground_truth_mapping(names[i], names[i + 1]))
+    net.settle()
+    return net, dataset
+
+
+def cmd_demo(args) -> int:
+    net, dataset = _deploy(args)
+    print(f"{len(dataset.schemas)} schemas, {len(dataset.triples)} "
+          f"triples on {args.peers} peers")
+    workload = QueryWorkloadGenerator(dataset, seed=args.seed)
+    query = workload.concept_query(dataset.schemas[0].name, "organism",
+                                   "Aspergillus")
+    controller = SelfOrganizationController(
+        net, domain=dataset.domain,
+        policy=CreationPolicy(mappings_per_round=3))
+    before = net.search_for(query, strategy="iterative", max_hops=8)
+    print(f"before self-organization: ci="
+          f"{net.connectivity_indicator(dataset.domain):+.3f}, "
+          f"probe query answers {before.result_count}")
+    for report in controller.run(max_rounds=args.rounds):
+        print(f"  round {report.round_index}: "
+              f"ci {report.ci_before:+.3f} -> {report.ci_after:+.3f}, "
+              f"+{len(report.created)} mappings, "
+              f"-{len(report.deprecated)} deprecated")
+    after = net.search_for(query, strategy="iterative", max_hops=8)
+    print(f"after: ci={net.connectivity_indicator(dataset.domain):+.3f}, "
+          f"probe query answers {after.result_count}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    try:
+        query = parse_search_for(args.query)
+    except ParseError as exc:
+        print(f"query does not parse: {exc}", file=sys.stderr)
+        return 2
+    net, dataset = _deploy(args)
+    controller = SelfOrganizationController(
+        net, domain=dataset.domain,
+        policy=CreationPolicy(mappings_per_round=3))
+    controller.run(max_rounds=args.rounds)
+    outcome = net.search_for(query, strategy=args.strategy, max_hops=8)
+    print(f"query    : {query}")
+    print(f"strategy : {args.strategy}")
+    print(f"results  : {outcome.result_count}")
+    for row in outcome.sorted_results()[:args.limit]:
+        print("  " + ", ".join(str(t) for t in row))
+    if outcome.result_count > args.limit:
+        print(f"  ... and {outcome.result_count - args.limit} more")
+    print(f"latency  : {outcome.latency:.2f}s (simulated), "
+          f"{outcome.messages} messages, "
+          f"{outcome.reformulations_explored} reformulation(s)")
+    if outcome.result_count == 0:
+        sample = sorted(
+            str(schema.predicate(attr))
+            for schema in dataset.schemas[:3]
+            for attr in schema.attributes[:3]
+        )[:6]
+        print("hint     : 0 results — the generated corpus uses "
+              "randomized attribute names; try predicates like:")
+        for predicate in sample:
+            print(f"             {predicate}")
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    print("experiment benchmarks (see EXPERIMENTS.md for recorded "
+          "paper-vs-measured results):\n")
+    for exp_id, title, module in _EXPERIMENTS:
+        print(f"  {exp_id:<4} {title:<46} benchmarks/{module}")
+    print("\nrun all:   pytest benchmarks/ --benchmark-only -s")
+    print("full scale: REPRO_BENCH_SCALE=full pytest benchmarks/ "
+          "--benchmark-only -s")
+    return 0
+
+
+def _add_deploy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--peers", type=int, default=100)
+    parser.add_argument("--schemas", type=int, default=10)
+    parser.add_argument("--entities", type=int, default=100)
+    parser.add_argument("--rounds", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GridVine reproduction (VLDB 2007) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the §4 demonstration storyline")
+    _add_deploy_args(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    query = sub.add_parser("query", help="run one SearchFor query")
+    query.add_argument("query", help='e.g. "SearchFor(x? : (x?, '
+                                     'EMBL#Organism, %%Aspergillus%%))"')
+    query.add_argument("--strategy", default="iterative",
+                       choices=["local", "iterative", "recursive"])
+    query.add_argument("--limit", type=int, default=10,
+                       help="max result rows to print")
+    _add_deploy_args(query)
+    query.set_defaults(func=cmd_query)
+
+    experiments = sub.add_parser("experiments",
+                                 help="list benchmark targets")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Synthetic bioinformatic data (substitute for the EBI/SRS export).
+
+The original demonstration exported protein/nucleotide data from the
+European Bioinformatics Institute and used "50 distinct schemas, all
+related to protein and nucleotide sequences".  That repository snapshot
+is not redistributable, so this package generates an equivalent
+corpus with the three properties the demonstration actually relies on:
+
+1. **Lexically related schemas** — attribute names are drawn from
+   per-concept synonym pools (``Organism`` / ``Species`` / ``OS`` /
+   ``SystematicName``...), so the lexicographic matcher has realistic
+   signal and realistic ambiguity.
+2. **Shared references** — schemas describe overlapping sets of
+   protein entities identified by accession numbers, so candidate
+   schema pairs can be discovered through "shared references to the
+   same protein sequence".
+3. **Comparable value sets** — the same entity carries the same
+   canonical value for a concept in every schema that covers it, so
+   set-distance measures between predicate extensions are meaningful.
+
+Ground truth (which attribute realizes which concept in which schema)
+is retained in the generated :class:`~repro.datagen.generator.BioDataset`,
+enabling precision/recall evaluation of the automatic matcher (E9).
+"""
+
+from repro.datagen.concepts import CONCEPT_SYNONYMS, CORE_CONCEPTS
+from repro.datagen.entities import ProteinEntity, generate_entities
+from repro.datagen.generator import BioDataset, BioDatasetGenerator
+from repro.datagen.workload import QueryWorkloadGenerator
+
+__all__ = [
+    "CONCEPT_SYNONYMS",
+    "CORE_CONCEPTS",
+    "ProteinEntity",
+    "generate_entities",
+    "BioDataset",
+    "BioDatasetGenerator",
+    "QueryWorkloadGenerator",
+]

@@ -1,0 +1,129 @@
+"""The concept vocabulary behind the synthetic bioinformatic schemas.
+
+Every schema attribute *realizes* one canonical concept; different
+schemas pick different synonyms (mimicking EMBL's two-letter line
+codes, SwissProt's field names, and assorted in-house conventions).
+The synonym pools double as the matcher's adversary: some synonyms of
+different concepts are lexically closer than synonyms of the same
+concept (``Length`` vs ``LocusName``), which is what makes E9
+non-trivial.
+"""
+
+from __future__ import annotations
+
+#: concept -> synonym pool (attribute-name candidates)
+CONCEPT_SYNONYMS: dict[str, list[str]] = {
+    "accession": [
+        "Accession", "AccessionNumber", "AC", "EntryAccession",
+        "PrimaryAccession", "accession_id", "AccNo",
+    ],
+    "organism": [
+        "Organism", "Species", "OS", "SourceOrganism", "SystematicName",
+        "OrganismName", "organism_species",
+    ],
+    "sequence": [
+        "Sequence", "SQ", "SeqData", "ResidueSequence", "sequence_string",
+        "SeqString",
+    ],
+    "seq_length": [
+        "SeqLength", "Length", "SQLen", "ResidueCount", "sequence_length",
+        "LengthBP",
+    ],
+    "description": [
+        "Description", "DE", "Definition", "EntryDescription", "Title",
+        "entry_title",
+    ],
+    "gene_name": [
+        "GeneName", "GN", "Gene", "LocusName", "gene_symbol", "GeneSymbol",
+    ],
+    "protein_name": [
+        "ProteinName", "RecName", "Protein", "product_name", "ProductName",
+    ],
+    "taxonomy": [
+        "Taxonomy", "OC", "Lineage", "TaxonomicLineage", "tax_lineage",
+    ],
+    "keywords": [
+        "Keywords", "KW", "Tags", "keyword_list", "KeywordList",
+    ],
+    "created_date": [
+        "CreatedDate", "DT", "EntryDate", "date_created", "FirstPublic",
+    ],
+    "molecule_type": [
+        "MoleculeType", "MolType", "MT", "molecule_class", "Moltype",
+    ],
+    "database_ref": [
+        "DatabaseRef", "DR", "CrossRef", "xref_list", "CrossReference",
+    ],
+    "function": [
+        "Function", "FunctionComment", "functional_role", "CCFunction",
+    ],
+    "ec_number": [
+        "ECNumber", "EC", "EnzymeCode", "enzyme_class", "ECLine",
+    ],
+    "host": [
+        "Host", "HostOrganism", "NaturalHost", "host_species",
+    ],
+    "strain": [
+        "Strain", "StrainName", "IsolateStrain", "strain_id",
+    ],
+}
+
+#: concepts present in every generated schema — accession gives shared
+#: references, organism powers the demonstration's flagship queries.
+CORE_CONCEPTS: tuple[str, ...] = ("accession", "organism")
+
+#: the remaining concepts, sampled per schema
+OPTIONAL_CONCEPTS: tuple[str, ...] = tuple(
+    c for c in CONCEPT_SYNONYMS if c not in CORE_CONCEPTS
+)
+
+#: organism names, weighted toward the paper's Aspergillus examples
+ORGANISM_POOL: list[tuple[str, float]] = [
+    ("Aspergillus niger", 0.08),
+    ("Aspergillus awamori", 0.05),
+    ("Aspergillus oryzae", 0.05),
+    ("Aspergillus fumigatus", 0.05),
+    ("Aspergillus nidulans", 0.04),
+    ("Saccharomyces cerevisiae", 0.12),
+    ("Escherichia coli", 0.12),
+    ("Homo sapiens", 0.1),
+    ("Mus musculus", 0.08),
+    ("Drosophila melanogaster", 0.06),
+    ("Arabidopsis thaliana", 0.06),
+    ("Caenorhabditis elegans", 0.05),
+    ("Danio rerio", 0.04),
+    ("Rattus norvegicus", 0.04),
+    ("Bacillus subtilis", 0.06),
+]
+
+#: lineage by genus (coarse, enough for taxonomy values)
+TAXONOMY_BY_GENUS: dict[str, str] = {
+    "Aspergillus": "Eukaryota; Fungi; Ascomycota; Eurotiomycetes; Aspergillus",
+    "Saccharomyces": "Eukaryota; Fungi; Ascomycota; Saccharomycetes",
+    "Escherichia": "Bacteria; Proteobacteria; Gammaproteobacteria",
+    "Homo": "Eukaryota; Metazoa; Chordata; Mammalia; Primates",
+    "Mus": "Eukaryota; Metazoa; Chordata; Mammalia; Rodentia",
+    "Drosophila": "Eukaryota; Metazoa; Arthropoda; Insecta; Diptera",
+    "Arabidopsis": "Eukaryota; Viridiplantae; Streptophyta; Brassicales",
+    "Caenorhabditis": "Eukaryota; Metazoa; Nematoda; Rhabditida",
+    "Danio": "Eukaryota; Metazoa; Chordata; Actinopterygii",
+    "Rattus": "Eukaryota; Metazoa; Chordata; Mammalia; Rodentia",
+    "Bacillus": "Bacteria; Firmicutes; Bacilli; Bacillales",
+}
+
+PROTEIN_NAME_POOL: list[str] = [
+    "Glucoamylase", "Alpha-amylase", "Cellulase", "Catalase",
+    "Superoxide dismutase", "Cytochrome c", "Hemoglobin subunit alpha",
+    "Ubiquitin", "Actin", "Tubulin alpha chain", "Heat shock protein 70",
+    "DNA polymerase III", "RNA polymerase II", "ATP synthase subunit beta",
+    "Lysozyme", "Trypsin", "Pepsin A", "Amyloglucosidase",
+    "Pectin lyase", "Xylanase",
+]
+
+KEYWORD_POOL: list[str] = [
+    "Hydrolase", "Oxidoreductase", "Transferase", "Glycoprotein",
+    "Signal", "Secreted", "Membrane", "Zymogen", "Metal-binding",
+    "Direct protein sequencing", "3D-structure", "Polymorphism",
+]
+
+MOLECULE_TYPES: list[str] = ["protein", "mRNA", "genomic DNA", "cDNA"]

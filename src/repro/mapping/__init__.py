@@ -1,0 +1,25 @@
+"""Pairwise GAV schema mappings and view unfolding.
+
+"GridVine allows for the definition of both equivalence and inclusion
+(subsumption) GAV mappings.  ...  mappings relate semantically similar
+predicates defined in different schemas.  Queries are then reformulated
+by replacing the predicates with the definition of their equivalent or
+subsumed predicates (view unfolding)" (§3).
+"""
+
+from repro.mapping.model import (
+    MappingKind,
+    PredicateCorrespondence,
+    SchemaMapping,
+)
+from repro.mapping.unfolding import translate_pattern, translate_query
+from repro.mapping.graph import MappingGraph
+
+__all__ = [
+    "MappingKind",
+    "PredicateCorrespondence",
+    "SchemaMapping",
+    "translate_pattern",
+    "translate_query",
+    "MappingGraph",
+]

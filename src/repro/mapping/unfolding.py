@@ -1,0 +1,73 @@
+"""View unfolding: rewriting queries through schema mappings.
+
+"Queries are then reformulated by replacing the predicates with the
+definition of their equivalent or subsumed predicates (view
+unfolding)" (§3).  Unfolding operates pattern-by-pattern: a pattern's
+predicate is replaced by its corresponding predicate in the target
+schema.  A query translates only if *every* pattern whose predicate
+belongs to the mapping's source schema has a correspondence — partial
+translations would silently drop join conditions and return wrong
+answers, so they are rejected (``None``).
+"""
+
+from __future__ import annotations
+
+from repro.mapping.model import SchemaMapping
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+from repro.rdf.terms import URI, Variable
+from repro.rdf.triples import Position
+
+
+def translate_pattern(pattern: TriplePattern,
+                      mapping: SchemaMapping) -> TriplePattern | None:
+    """Rewrite one pattern through ``mapping``.
+
+    Returns ``None`` when the pattern's predicate belongs to the
+    mapping's source schema but has no correspondence, or when the
+    predicate is a variable (predicates bound at runtime cannot be
+    statically unfolded).  Patterns over *other* schemas pass through
+    unchanged, enabling multi-schema conjunctive queries.
+    """
+    predicate = pattern.predicate
+    if isinstance(predicate, Variable):
+        return None
+    assert isinstance(predicate, URI)
+    if predicate.namespace != mapping.source_schema:
+        return pattern
+    target = mapping.translate(predicate)
+    if target is None:
+        return None
+    return pattern.replace(Position.PREDICATE, target)
+
+
+def translate_query(query: ConjunctiveQuery,
+                    mapping: SchemaMapping) -> ConjunctiveQuery | None:
+    """Rewrite a whole query through ``mapping``.
+
+    All patterns must translate (see :func:`translate_pattern`); at
+    least one pattern must actually change, otherwise the mapping is
+    irrelevant to this query and ``None`` is returned so callers do not
+    chase no-op reformulations.
+    """
+    if mapping.deprecated:
+        return None
+    translated: list[TriplePattern] = []
+    changed = False
+    for pattern in query.patterns:
+        new_pattern = translate_pattern(pattern, mapping)
+        if new_pattern is None:
+            return None
+        changed = changed or (new_pattern != pattern)
+        translated.append(new_pattern)
+    if not changed:
+        return None
+    return ConjunctiveQuery(translated, query.distinguished)
+
+
+def query_schemas(query: ConjunctiveQuery) -> set[str]:
+    """The schema names referenced by a query's constant predicates."""
+    schemas: set[str] = set()
+    for pattern in query.patterns:
+        if isinstance(pattern.predicate, URI):
+            schemas.add(pattern.predicate.namespace)
+    return schemas

@@ -1,0 +1,41 @@
+"""Mediation-to-overlay key derivation.
+
+Centralizes every ``Hash(...)`` of the paper so the mediation layer and
+the tests agree on key widths:
+
+* ``triple_keys(t)`` — the three keys a triple is indexed under
+  (``Hash(t_subject), Hash(t_predicate), Hash(t_object)``, §2.2);
+* ``schema_key(name)`` — ``Hash(Schema Name)`` for schema definitions
+  and mappings (§2.2/§3);
+* ``domain_key(domain)`` — ``Hash(Domain)`` for connectivity records
+  (§3.1);
+* ``term_key(term)`` — the routing key of a query's most specific
+  constant (§2.3).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import GroundTerm
+from repro.rdf.triples import ALL_POSITIONS, Triple
+from repro.util.hashing import DEFAULT_KEY_BITS, order_preserving_hash
+from repro.util.keys import Key
+
+
+def term_key(term: GroundTerm, bits: int = DEFAULT_KEY_BITS) -> Key:
+    """Overlay key of a ground term's value."""
+    return order_preserving_hash(term.value, bits)
+
+
+def triple_keys(triple: Triple, bits: int = DEFAULT_KEY_BITS) -> list[Key]:
+    """The three keys of a triple, in (subject, predicate, object) order."""
+    return [term_key(triple.at(pos), bits) for pos in ALL_POSITIONS]
+
+
+def schema_key(schema_name: str, bits: int = DEFAULT_KEY_BITS) -> Key:
+    """``Hash(Schema Name)`` — where the definition and mappings live."""
+    return order_preserving_hash(schema_name, bits)
+
+
+def domain_key(domain: str, bits: int = DEFAULT_KEY_BITS) -> Key:
+    """``Hash(Domain)`` — where connectivity records aggregate."""
+    return order_preserving_hash(domain, bits)

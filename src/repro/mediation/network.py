@@ -1,0 +1,298 @@
+"""The whole-system harness: build and drive a GridVine deployment.
+
+:class:`GridVineNetwork` wires the three layers together (event loop,
+latency model, P-Grid trie of :class:`GridVinePeer`s) and exposes a
+*synchronous* façade over the asynchronous protocol: every call issues
+the underlying operation(s) from some origin peer and runs the event
+loop until the resulting future resolves.  Examples, tests and
+benchmarks all talk to this class.
+
+The harness view is deliberately omniscient (it can read any peer's
+state directly) — that power is only used for ground-truth checks and
+reporting, never inside protocol logic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.connectivity.indicator import indicator_from_degrees
+from repro.mapping.graph import MappingGraph
+from repro.mapping.model import (
+    MappingKind,
+    PredicateCorrespondence,
+    SchemaMapping,
+)
+from repro.mediation.peer import GridVinePeer
+from repro.mediation.records import ConnectivityRecord
+from repro.mediation.query import QueryOutcome
+from repro.pgrid.construction import assign_paths, populate_routing_tables
+from repro.rdf.parser import parse_search_for
+from repro.rdf.patterns import ConjunctiveQuery
+from repro.rdf.triples import Triple
+from repro.schema.model import Schema
+from repro.simnet.events import EventLoop, Future
+from repro.simnet.latency import LatencyModel
+from repro.simnet.network import SimNetwork
+from repro.util.keys import Key
+
+
+class GridVineNetwork:
+    """A simulated GridVine deployment of N peers."""
+
+    def __init__(self, network: SimNetwork,
+                 peers: dict[str, GridVinePeer],
+                 rng: random.Random) -> None:
+        self.network = network
+        self.peers = peers
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        num_peers: int,
+        key_sample: Sequence[Key] | None = None,
+        replication: int = 1,
+        refs_per_level: int = 2,
+        key_bits: int = 128,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        timeout: float = 15.0,
+        max_retries: int = 2,
+        query_timeout: float = 120.0,
+    ) -> "GridVineNetwork":
+        """Build a deployment; parameters mirror
+        :meth:`repro.pgrid.overlay.PGridOverlay.build`."""
+        rng = random.Random(seed)
+        network = SimNetwork(
+            loop=EventLoop(),
+            latency=latency,
+            rng=random.Random(rng.random()),
+        )
+        assignment = assign_paths(
+            num_peers,
+            key_sample=key_sample,
+            replication=replication,
+            key_bits=key_bits,
+            rng=random.Random(rng.random()),
+        )
+        peers: dict[str, GridVinePeer] = {}
+        for node_id, path in sorted(assignment.items()):
+            peer = GridVinePeer(
+                node_id, path,
+                rng=random.Random(rng.random()),
+                timeout=timeout,
+                max_retries=max_retries,
+                query_timeout=query_timeout,
+            )
+            network.attach(peer)
+            peers[node_id] = peer
+        populate_routing_tables(
+            peers, refs_per_level=refs_per_level,
+            rng=random.Random(rng.random()),
+        )
+        return cls(network, peers, rng)
+
+    # ------------------------------------------------------------------
+    # Peer access
+    # ------------------------------------------------------------------
+
+    @property
+    def loop(self) -> EventLoop:
+        """The deployment's event loop."""
+        return self.network.loop
+
+    def peer_ids(self) -> list[str]:
+        """All node ids, sorted."""
+        return sorted(self.peers)
+
+    def peer(self, node_id: str) -> GridVinePeer:
+        """Look up a peer by id."""
+        return self.peers[node_id]
+
+    def random_peer(self) -> GridVinePeer:
+        """A uniformly random peer (from the harness RNG)."""
+        return self.peers[self.rng.choice(self.peer_ids())]
+
+    def _origin(self, origin: str | None) -> GridVinePeer:
+        if origin is None:
+            return self.random_peer()
+        return self.peers[origin]
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def join(self, node_id: str) -> GridVinePeer:
+        """Add a new GridVine peer to the live deployment."""
+        from repro.pgrid.membership import join_network
+
+        def factory(new_id: str, path: Key) -> GridVinePeer:
+            return GridVinePeer(new_id, path,
+                                rng=random.Random(self.rng.random()))
+
+        return join_network(self.network, self.peers, node_id, factory,
+                            rng=random.Random(self.rng.random()))
+
+    def leave(self, node_id: str) -> None:
+        """Gracefully remove a peer (data handed to its replicas)."""
+        from repro.pgrid.membership import graceful_leave
+        graceful_leave(self.network, self.peers, node_id)
+
+    def settle(self, max_events: int = 10_000_000) -> None:
+        """Run the loop until quiescence (replication, republication
+        and other background traffic finishes)."""
+        self.loop.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Synchronous mediation operations
+    # ------------------------------------------------------------------
+
+    def _run(self, future: Future):
+        return self.loop.run_until_complete(future)
+
+    def insert_schema(self, schema: Schema, origin: str | None = None) -> None:
+        """Insert a schema definition from ``origin`` (random default)."""
+        self._run(self._origin(origin).insert_schema(schema))
+
+    def insert_schemas(self, schemas: Iterable[Schema],
+                       origin: str | None = None) -> None:
+        """Insert several schemas."""
+        for schema in schemas:
+            self.insert_schema(schema, origin)
+
+    def insert_triples(self, triples: Sequence[Triple],
+                       origin: str | None = None) -> None:
+        """Insert data triples (each indexed under its three keys)."""
+        self._run(self._origin(origin).insert_triples(list(triples)))
+
+    def insert_mapping(self, mapping: SchemaMapping,
+                       bidirectional: bool = False,
+                       origin: str | None = None) -> None:
+        """Insert a schema mapping."""
+        self._run(self._origin(origin).insert_mapping(
+            mapping, bidirectional=bidirectional
+        ))
+
+    def remove_mapping(self, mapping: SchemaMapping,
+                       origin: str | None = None) -> None:
+        """Remove a schema mapping entirely."""
+        self._run(self._origin(origin).remove_mapping(mapping))
+
+    def deprecate_mapping(self, mapping: SchemaMapping,
+                          origin: str | None = None) -> None:
+        """Flag a mapping as deprecated."""
+        self._run(self._origin(origin).deprecate_mapping(mapping))
+
+    def create_mapping(
+        self,
+        source: Schema,
+        target: Schema,
+        attribute_pairs: Iterable[tuple[str, str]],
+        kind: MappingKind = MappingKind.EQUIVALENCE,
+        provenance: str = "user",
+        confidence: float = 1.0,
+        origin: str | None = None,
+    ) -> SchemaMapping:
+        """Convenience: build a mapping from attribute-name pairs and
+        insert it (directed, source -> target)."""
+        creator = self._origin(origin)
+        correspondences = [
+            PredicateCorrespondence(source.predicate(a), target.predicate(b),
+                                    kind=kind)
+            for a, b in attribute_pairs
+        ]
+        mapping = SchemaMapping(
+            creator.mint_guid(f"map:{source.name}->{target.name}"),
+            source.name,
+            target.name,
+            correspondences,
+            provenance=provenance,
+            confidence=confidence,
+        )
+        self._run(creator.insert_mapping(mapping))
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def search_for(self, query: ConjunctiveQuery | str,
+                   strategy: str = "iterative",
+                   max_hops: int = 5,
+                   origin: str | None = None) -> QueryOutcome:
+        """Issue a ``SearchFor`` and block until its outcome.
+
+        ``query`` may be a parsed query or the paper's surface syntax,
+        e.g. ``"SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))"``.
+        """
+        if isinstance(query, str):
+            query = parse_search_for(query)
+        messages_before = self.network.metrics.messages_sent
+        outcome = self._run(self._origin(origin).search_for(
+            query, strategy=strategy, max_hops=max_hops
+        ))
+        outcome.messages = (self.network.metrics.messages_sent
+                            - messages_before)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Connectivity (§3.1) and graph reconstruction
+    # ------------------------------------------------------------------
+
+    def connectivity_records(self, domain: str = "default",
+                             origin: str | None = None) -> list[ConnectivityRecord]:
+        """Fetch the domain's connectivity records through the overlay."""
+        records = self._run(self._origin(origin).fetch_connectivity(domain))
+        return sorted(records, key=lambda r: r.schema_name)
+
+    def connectivity_indicator(self, domain: str = "default",
+                               origin: str | None = None) -> float:
+        """The indicator ``ci`` computed from published degree records."""
+        records = self.connectivity_records(domain, origin)
+        return indicator_from_degrees([r.degree_pair for r in records])
+
+    def fetch_mappings(self, schema_name: str,
+                       include_deprecated: bool = False,
+                       origin: str | None = None) -> list[SchemaMapping]:
+        """Active outgoing mappings of a schema, via the overlay."""
+        return self._run(self._origin(origin).fetch_mappings(
+            schema_name, include_deprecated=include_deprecated
+        ))
+
+    def mapping_graph(self, domain: str = "default",
+                      include_deprecated: bool = False,
+                      origin: str | None = None) -> MappingGraph:
+        """Reconstruct the mapping graph by crawling schema key spaces.
+
+        This is exactly the "repeatedly crawling a decentralized ...
+        graph" the indicator exists to avoid; it is provided for ground
+        truth in tests and experiments.
+        """
+        graph = MappingGraph()
+        for record in self.connectivity_records(domain, origin):
+            graph.add_schema(record.schema_name)
+        for schema_name in list(graph.schemas()):
+            for mapping in self.fetch_mappings(
+                schema_name, include_deprecated=include_deprecated,
+                origin=origin,
+            ):
+                graph.add(mapping)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def total_triples_stored(self) -> int:
+        """Sum of local triple-database sizes (includes replication)."""
+        return sum(peer.db.count() for peer in self.peers.values())
+
+    def metrics_snapshot(self) -> dict:
+        """Network counters, for bench reporting."""
+        return self.network.metrics.snapshot()

@@ -1,0 +1,842 @@
+"""The GridVine peer: P-Grid node + semantic mediation layer.
+
+A :class:`GridVinePeer` extends :class:`~repro.pgrid.peer.PGridPeer`
+with the paper's mediation operations:
+
+* ``Update(data)`` / ``Update(schema)`` / ``Update(mapping)`` /
+  ``Update(connectivity)`` — all reduce to overlay ``Update(key,
+  value)`` calls with typed records and the key derivations of
+  :mod:`repro.mediation.keys`;
+* ``SearchFor(query)`` — triple-pattern and conjunctive queries with
+  three execution strategies:
+
+  ``"local"``
+      No reformulation: resolve the query's patterns by overlay lookup
+      and join at the origin.
+
+  ``"iterative"``
+      The origin "iteratively looks for paths of mappings and
+      reformulates the query by itself" (§4): it retrieves the schema
+      key spaces it learns about, translates the query through the
+      mappings found there, and issues every distinct reformulation.
+
+  ``"recursive"``
+      "The successive reformulations are delegated to intermediate
+      peers" (§4): the query travels to the peer holding the source
+      schema's mappings; that peer reformulates with its local
+      mappings, forwards to the next schema peers, executes the query
+      it received, and streams results straight back to the origin.
+      Termination uses spawn-count accounting (each request reports
+      how many sub-requests it forwarded), with a virtual-time timeout
+      as a safety net against message loss under churn.
+
+Degree bookkeeping (§3.1) is event-driven: whenever mapping records at
+a schema's key space change, the peer holding that schema definition
+recomputes ``(InDegree, OutDegree)`` over *active* mappings and
+republishes a :class:`~repro.mediation.records.ConnectivityRecord`
+under ``Hash(Domain)``.  The domain peer keeps one record per schema
+(last-writer-wins), so replicas republishing concurrently converge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.mapping.model import SchemaMapping
+from repro.mapping.unfolding import query_schemas, translate_query
+from repro.mediation.keys import domain_key, schema_key, term_key, triple_keys
+from repro.util.hashing import prefix_interval
+from repro.util.keys import covering_prefixes
+from repro.mediation.query import QueryOutcome
+from repro.mediation.records import (
+    ConnectivityRecord,
+    IncomingMappingRecord,
+    MappingRecord,
+    SchemaRecord,
+    TripleRecord,
+)
+from repro.pgrid.peer import PGridPeer
+from repro.rdf.patterns import (
+    ConjunctiveQuery,
+    TriplePattern,
+    join_bindings,
+)
+from repro.rdf.triples import Triple
+from repro.schema.model import Schema
+from repro.simnet.events import Future, gather
+from repro.simnet.network import Message
+from repro.storage.triplestore import TripleStore
+from repro.util.guid import mint_guid
+from repro.util.keys import Key
+
+#: How long (virtual seconds) a schema peer remembers the queries it
+#: has already processed for one recursive task.
+_REFO_SEEN_TTL = 600.0
+
+
+class GridVinePeer(PGridPeer):
+    """A peer participating in all three GridVine layers."""
+
+    def __init__(
+        self,
+        node_id: str,
+        path: Key,
+        rng: random.Random | None = None,
+        timeout: float = 15.0,
+        max_retries: int = 2,
+        query_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(node_id, path, rng=rng, timeout=timeout,
+                         max_retries=max_retries)
+        self.query_timeout = query_timeout
+        #: conjunctive-join execution mode: ``"parallel"`` resolves all
+        #: patterns independently and joins at the origin (the paper's
+        #: "iteratively resolving each triple pattern ... and
+        #: aggregating"); ``"bound"`` resolves patterns sequentially,
+        #: substituting earlier bindings into later patterns (a bound
+        #: join — ships far fewer tuples on selective queries)
+        self.join_mode = "parallel"
+        #: bound-join fan-out cap: above this many distinct
+        #: substitutions a pattern is fetched unbound instead
+        self.bound_join_fanout_cap = 24
+        #: local triple database DB_p (triples routed here by any key)
+        self.db = TripleStore()
+        #: schema definitions stored in this peer's key space
+        self.local_schemas: dict[str, Schema] = {}
+        #: outgoing mapping records stored here, by mapping id
+        self.local_mappings: dict[str, SchemaMapping] = {}
+        #: incoming-edge markers stored here, by mapping id
+        self.incoming_mappings: dict[str, SchemaMapping] = {}
+        #: last connectivity record published per schema (suppresses
+        #: redundant republication)
+        self._published_connectivity: dict[str, ConnectivityRecord] = {}
+        #: recursive-strategy origin-side task state
+        self._refo_tasks: dict[str, _RecursiveTask] = {}
+        #: recursive-strategy handler-side dedup sets, per task
+        self._refo_seen: dict[str, set[ConjunctiveQuery]] = {}
+
+    # ------------------------------------------------------------------
+    # Identifier minting
+    # ------------------------------------------------------------------
+
+    def mint_guid(self, local_identifier: str) -> str:
+        """A globally unique id: ``pi(p)`` + hash of the local name."""
+        return mint_guid(self.path, local_identifier)
+
+    # ------------------------------------------------------------------
+    # Mediation-layer updates
+    # ------------------------------------------------------------------
+
+    def insert_triple(self, triple: Triple) -> Future:
+        """``Update(t)``: three overlay updates, one per position key."""
+        record = TripleRecord(triple)
+        return gather([
+            self.update(key, record) for key in triple_keys(triple)
+        ])
+
+    def insert_triples(self, triples: list[Triple]) -> Future:
+        """Insert a batch of triples (3 x len(triples) overlay updates)."""
+        return gather([self.insert_triple(t) for t in triples])
+
+    def remove_triple(self, triple: Triple) -> Future:
+        """Delete a triple from all three position key spaces."""
+        record = TripleRecord(triple)
+        return gather([
+            self.update(key, record, action="remove")
+            for key in triple_keys(triple)
+        ])
+
+    def insert_schema(self, schema: Schema) -> Future:
+        """``Update(Schema)``: definition stored at ``Hash(Schema Name)``."""
+        return self.update(schema_key(schema.name), SchemaRecord(schema))
+
+    def insert_mapping(self, mapping: SchemaMapping,
+                       bidirectional: bool = False) -> Future:
+        """``Update(Schema Mapping)``.
+
+        The mapping lands at the source schema's key space; an
+        incoming-edge marker lands at the target's so that peer can
+        account for its in-degree.  A bidirectional mapping is the
+        pair of directed mappings (the reverse direction is derived
+        from the equivalence correspondences) — "or at the key spaces
+        corresponding to both schemas if the mapping is bidirectional".
+        """
+        ops = [
+            self.update(schema_key(mapping.source_schema),
+                        MappingRecord(mapping)),
+            self.update(schema_key(mapping.target_schema),
+                        IncomingMappingRecord(mapping)),
+        ]
+        if bidirectional:
+            reverse = mapping.reversed()
+            ops.append(self.update(schema_key(reverse.source_schema),
+                                   MappingRecord(reverse)))
+            ops.append(self.update(schema_key(reverse.target_schema),
+                                   IncomingMappingRecord(reverse)))
+        return gather(ops)
+
+    def remove_mapping(self, mapping: SchemaMapping) -> Future:
+        """Delete a directed mapping's record and its incoming marker."""
+        return gather([
+            self.update(schema_key(mapping.source_schema),
+                        MappingRecord(mapping), action="remove"),
+            self.update(schema_key(mapping.target_schema),
+                        IncomingMappingRecord(mapping), action="remove"),
+        ])
+
+    def replace_mapping(self, old: SchemaMapping,
+                        new: SchemaMapping) -> Future:
+        """Atomically-ish swap a mapping record (e.g. to deprecate it).
+
+        Issues the removal and the insertion together; both key spaces
+        are updated so degree accounting stays consistent.
+        """
+        return gather([
+            self.remove_mapping(old),
+            self.insert_mapping(new),
+        ])
+
+    def deprecate_mapping(self, mapping: SchemaMapping) -> Future:
+        """Mark a mapping deprecated (§3.2): it keeps existing but is
+        ignored for reformulation and connectivity accounting."""
+        return self.replace_mapping(mapping, mapping.with_deprecated(True))
+
+    # ------------------------------------------------------------------
+    # Mediation-layer reads
+    # ------------------------------------------------------------------
+
+    def fetch_schema_space(self, schema_name: str) -> Future:
+        """Retrieve every record at ``Hash(schema_name)``.
+
+        Resolves to the raw record list (schema definition, outgoing
+        mapping records and incoming markers).
+        """
+        out: Future = Future()
+        fut = self.retrieve(schema_key(schema_name))
+        fut.add_done_callback(
+            lambda f: out.set_result(list(f.result().values or []))
+        )
+        return out
+
+    def fetch_mappings(self, schema_name: str,
+                       include_deprecated: bool = False) -> Future:
+        """Active outgoing mappings of a schema, via the overlay."""
+        out: Future = Future()
+
+        def _on_records(f: Future) -> None:
+            mappings = [
+                r.mapping for r in f.result()
+                if isinstance(r, MappingRecord)
+                and (include_deprecated or r.mapping.active)
+            ]
+            out.set_result(sorted(mappings, key=lambda m: m.mapping_id))
+
+        self.fetch_schema_space(schema_name).add_done_callback(_on_records)
+        return out
+
+    def fetch_connectivity(self, domain: str) -> Future:
+        """All :class:`ConnectivityRecord`s of a domain."""
+        out: Future = Future()
+        fut = self.retrieve(domain_key(domain))
+        fut.add_done_callback(lambda f: out.set_result([
+            r for r in (f.result().values or [])
+            if isinstance(r, ConnectivityRecord)
+        ]))
+        return out
+
+    # ------------------------------------------------------------------
+    # SearchFor
+    # ------------------------------------------------------------------
+
+    def search_for(self, query: ConjunctiveQuery, strategy: str = "iterative",
+                   max_hops: int = 5) -> Future:
+        """Resolve a query; resolves to a :class:`QueryOutcome`.
+
+        ``max_hops`` bounds the length of mapping paths explored (the
+        recursive strategy's TTL / the iterative strategy's BFS depth).
+        """
+        for pattern in query.patterns:
+            pattern.routing_position()  # raises early on unroutable patterns
+        future: Future = Future()
+        if strategy == "local":
+            outcome = QueryOutcome(query=query, strategy="local",
+                                   issued_at=self.loop.now)
+
+            def _on_rows(f: Future) -> None:
+                outcome.record(query, f.result())
+                outcome.latency = self.loop.now - outcome.issued_at
+                future.set_result(outcome)
+
+            self._execute_query(query).add_done_callback(_on_rows)
+        elif strategy == "iterative":
+            _IterativeTask(self, query, max_hops, future).start()
+        elif strategy == "recursive":
+            self._start_recursive(query, max_hops, future)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return future
+
+    # -- data-layer execution ------------------------------------------
+
+    def _search_pattern(self, pattern: TriplePattern) -> Future:
+        """Route one pattern to its key space; resolves to bindings.
+
+        Exact routing constants resolve with a single ``search`` op at
+        the constant's key space.  A ``prefix%`` routing constant has
+        no single key; its matches occupy a contiguous key *interval*
+        (order-preserving hash), which is fetched with overlay range
+        queries over the interval's covering prefixes and matched
+        against the pattern at the origin.
+        """
+        if pattern.routing_mode() == "prefix":
+            return self._search_pattern_by_prefix(pattern)
+        key = term_key(pattern.routing_constant())
+        out: Future = Future()
+
+        def _on_result(f: Future) -> None:
+            result = f.result()
+            values = result.values if result.success else None
+            out.set_result(list(values) if values else [])
+
+        self._start_op("search", key, pattern).add_done_callback(_on_result)
+        return out
+
+    #: decomposition depth for prefix-pattern range queries; bounds the
+    #: fan-out at 2 * depth subtree queries (over-covered results are
+    #: filtered by pattern matching at the origin)
+    _RANGE_COVER_DEPTH = 16
+
+    def _search_pattern_by_prefix(self, pattern: TriplePattern) -> Future:
+        needle = pattern.routing_constant().prefix_needle  # type: ignore[union-attr]
+        low, high = prefix_interval(needle)
+        covers = covering_prefixes(low, high,
+                                   max_length=self._RANGE_COVER_DEPTH)
+        out: Future = Future()
+
+        def _on_ranges(f: Future) -> None:
+            bindings: list[dict] = []
+            seen_triples: set[Triple] = set()
+            for result in f.result():
+                for value in result.values or ():
+                    if not isinstance(value, TripleRecord):
+                        continue
+                    if value.triple in seen_triples:
+                        continue
+                    seen_triples.add(value.triple)
+                    matched = pattern.matches(value.triple)
+                    if matched is not None:
+                        bindings.append(matched)
+            out.set_result(bindings)
+
+        gather([self.range_query(c) for c in covers]).add_done_callback(
+            _on_ranges)
+        return out
+
+    def _execute_query(self, query: ConjunctiveQuery) -> Future:
+        """Resolve a query's patterns and project the distinguished
+        variables; resolves to a set of result tuples.
+
+        Dispatches on :attr:`join_mode`; single-pattern queries take
+        the direct path either way.
+        """
+        if self.join_mode == "bound" and len(query.patterns) > 1:
+            return self._execute_query_bound(query)
+        return self._execute_query_parallel(query)
+
+    def _execute_query_parallel(self, query: ConjunctiveQuery) -> Future:
+        """All patterns resolved independently, joined at the origin."""
+        out: Future = Future()
+        pattern_futures = [self._search_pattern(p) for p in query.patterns]
+
+        def _on_all(f: Future) -> None:
+            joined: list[dict] = [{}]
+            for bindings_list in f.result():
+                joined = join_bindings(joined, bindings_list)
+                if not joined:
+                    break
+            rows = {
+                query.project(b) for b in joined
+                if all(v in b for v in query.distinguished)
+            }
+            out.set_result(rows)
+
+        gather(pattern_futures).add_done_callback(_on_all)
+        return out
+
+    @staticmethod
+    def _selectivity_rank(pattern: TriplePattern) -> tuple:
+        """Sort key: most selective pattern first.
+
+        Exact subjects pin a single resource; exact objects a value;
+        predicates an entire attribute extent.  More exact constants
+        beat fewer.
+        """
+        constants = pattern.constants()
+        from repro.rdf.triples import Position
+        return (
+            0 if Position.SUBJECT in constants else 1,
+            0 if Position.OBJECT in constants else 1,
+            0 if Position.PREDICATE in constants else 1,
+            str(pattern),
+        )
+
+    def _execute_query_bound(self, query: ConjunctiveQuery) -> Future:
+        """Sequential bound join: substitute earlier bindings into
+        later patterns before fetching them.
+
+        For each step, the distinct substituted variants of the next
+        pattern are fetched (capped at :attr:`bound_join_fanout_cap`
+        variants — beyond that the unbound pattern is cheaper) and
+        joined into the running binding set.
+        """
+        ordered = sorted(query.patterns, key=self._selectivity_rank)
+        out: Future = Future()
+
+        def _step(index: int, joined: list[dict]) -> None:
+            if index == len(ordered) or not joined:
+                rows = {
+                    query.project(b) for b in joined
+                    if all(v in b for v in query.distinguished)
+                }
+                out.set_result(rows)
+                return
+            pattern = ordered[index]
+            variants: list[TriplePattern] = []
+            seen_variants: set[TriplePattern] = set()
+            for bindings in joined:
+                variant = pattern.substitute(bindings)
+                if variant not in seen_variants:
+                    seen_variants.add(variant)
+                    variants.append(variant)
+            if (len(variants) > self.bound_join_fanout_cap
+                    or any(not v.variables() for v in variants)):
+                # Too many variants (or fully ground ones, whose empty
+                # binding dicts would not join back): fetch unbound.
+                variants = [pattern]
+
+            def _on_fetched(f: Future) -> None:
+                fetched: list[dict] = []
+                seen_keys: set[tuple] = set()
+                from repro.rdf.terms import Variable
+                from repro.rdf.triples import ALL_POSITIONS
+                for bindings_list, variant in zip(f.result(), variants):
+                    for b in bindings_list:
+                        # Re-attach the variables the substitution
+                        # erased, so the join sees them again.
+                        restored = dict(b)
+                        for pos in ALL_POSITIONS:
+                            term = pattern.at(pos)
+                            variant_term = variant.at(pos)
+                            if (isinstance(term, Variable)
+                                    and not isinstance(variant_term,
+                                                       Variable)):
+                                restored[term] = variant_term
+                        key = tuple(sorted(
+                            (v.value, repr(t))
+                            for v, t in restored.items()))
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            fetched.append(restored)
+                _step(index + 1, join_bindings(joined, fetched))
+
+            gather([self._search_pattern(v) for v in variants]
+                   ).add_done_callback(_on_fetched)
+
+        _step(0, [{}])
+        return out
+
+    # -- recursive strategy ---------------------------------------------
+
+    def _start_recursive(self, query: ConjunctiveQuery, max_hops: int,
+                         future: Future) -> None:
+        task_id = f"{self.node_id}:{next(self._op_ids)}"
+        task = _RecursiveTask(self, task_id, query, future)
+        self._refo_tasks[task_id] = task
+        task.timeout_handle = self.loop.schedule(
+            self.query_timeout, task.finish, False
+        )
+        primary_schema = min(query_schemas(query))
+        root_id = self._send_refo(schema_key(primary_schema), {
+            "task_id": task_id,
+            "task_origin": self.node_id,
+            "query": query,
+            "visited": [primary_schema],
+            "ttl": max_hops,
+        })
+        task.expected.add(root_id)
+
+    def _send_refo(self, key: Key, value: dict) -> str:
+        """Route a reformulation request toward a schema key space.
+
+        Returns the request id, which doubles as the route op id; the
+        handler's report and results messages carry it back so the
+        origin can do exact termination accounting (a child's report
+        may overtake its parent's, so simple counters are not enough).
+        """
+        op_id = f"refo!{value['task_id']}!{self.node_id}:{next(self._op_ids)}"
+        value = dict(value)
+        value["request_id"] = op_id
+        self._handle_route(Message(
+            kind="route",
+            src=self.node_id,
+            dst=self.node_id,
+            payload={
+                "op": "reformulate",
+                "op_id": op_id,
+                "key": key.bits,
+                "origin": value["task_origin"],
+                "value": value,
+            },
+            hops=0,
+        ))
+        return op_id
+
+    def _handle_reformulate(self, value: dict) -> dict:
+        """Schema-peer side of the recursive strategy.
+
+        Returns the report ``{"spawned": [...], "executes": bool}``
+        delivered to the task origin as the route reply: ``spawned``
+        lists the request ids of the sub-requests this peer forwarded,
+        and ``executes`` says whether a separate ``refo_results``
+        message will follow for this request.
+        """
+        task_id = value["task_id"]
+        request_id = value["request_id"]
+        query: ConjunctiveQuery = value["query"]
+        visited = set(value["visited"])
+        ttl = int(value["ttl"])
+        task_origin = value["task_origin"]
+        seen = self._refo_seen.get(task_id)
+        if seen is None:
+            seen = set()
+            self._refo_seen[task_id] = seen
+            self.loop.schedule(_REFO_SEEN_TTL, self._refo_seen.pop,
+                               task_id, None)
+        if query in seen:
+            return {"spawned": [], "executes": False}
+        seen.add(query)
+        spawned: list[str] = []
+        if ttl > 0:
+            source_schemas = query_schemas(query)
+            for mapping in sorted(self.local_mappings.values(),
+                                  key=lambda m: m.mapping_id):
+                if not mapping.active:
+                    continue
+                if mapping.source_schema not in source_schemas:
+                    continue
+                if mapping.target_schema in visited:
+                    continue
+                translated = translate_query(query, mapping)
+                if translated is None:
+                    continue
+                spawned.append(self._send_refo(
+                    schema_key(mapping.target_schema), {
+                        "task_id": task_id,
+                        "task_origin": task_origin,
+                        "query": translated,
+                        "visited": sorted(visited | {mapping.target_schema}),
+                        "ttl": ttl - 1,
+                    }
+                ))
+
+        def _on_rows(f: Future) -> None:
+            self.send(task_origin, "refo_results", {
+                "task_id": task_id,
+                "request_id": request_id,
+                "query": query,
+                "rows": f.result(),
+            })
+
+        self._execute_query(query).add_done_callback(_on_rows)
+        return {"spawned": spawned, "executes": True}
+
+    def _on_refo_report(self, payload: dict) -> None:
+        """Origin side: a schema peer reported its fan-out."""
+        op_id = payload["op_id"]
+        task_id = op_id.split("!", 2)[1]
+        task = self._refo_tasks.get(task_id)
+        if task is None:
+            return
+        task.on_report(op_id, payload.get("values") or
+                       {"spawned": [], "executes": False})
+
+    # ------------------------------------------------------------------
+    # Protocol extensions
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "refo_results":
+            task = self._refo_tasks.get(message.payload["task_id"])
+            if task is not None:
+                task.on_results(message.payload["request_id"],
+                                message.payload["query"],
+                                message.payload["rows"])
+            return
+        super().on_message(message)
+
+    def _execute_op(self, op: str, key: Key, value: Any) -> tuple[list[Any] | None, bool]:
+        if op == "search":
+            return self.db.match(value), False
+        if op == "reformulate":
+            return self._handle_reformulate(value), False  # type: ignore[return-value]
+        return super()._execute_op(op, key, value)
+
+    def _complete(self, payload: dict, hops_override: int | None = None) -> None:
+        if str(payload.get("op_id", "")).startswith("refo!"):
+            self._on_refo_report(payload)
+            return
+        super()._complete(payload, hops_override)
+
+    # ------------------------------------------------------------------
+    # Record dispatch (storage side)
+    # ------------------------------------------------------------------
+
+    def local_insert(self, key: Key, value: Any) -> None:
+        if isinstance(value, ConnectivityRecord):
+            # Last-writer-wins per schema: drop stale records so the
+            # domain key space holds exactly one record per schema.
+            bucket = self.store.setdefault(key.bits, [])
+            bucket[:] = [
+                r for r in bucket
+                if not (isinstance(r, ConnectivityRecord)
+                        and r.schema_name == value.schema_name)
+            ]
+            bucket.append(value)
+            return
+        super().local_insert(key, value)
+        if isinstance(value, TripleRecord):
+            self.db.add(value.triple)
+        elif isinstance(value, SchemaRecord):
+            self.local_schemas[value.schema.name] = value.schema
+            self._republish_connectivity(value.schema.name)
+        elif isinstance(value, MappingRecord):
+            self.local_mappings[value.mapping.mapping_id] = value.mapping
+            self._republish_connectivity(value.mapping.source_schema)
+        elif isinstance(value, IncomingMappingRecord):
+            self.incoming_mappings[value.mapping.mapping_id] = value.mapping
+            self._republish_connectivity(value.mapping.target_schema)
+
+    def local_remove(self, key: Key, value: Any) -> int:
+        removed = super().local_remove(key, value)
+        if not removed:
+            return removed
+        if isinstance(value, TripleRecord):
+            # The triple may still be stored under another of its three
+            # keys at this peer; only drop it from the local database
+            # when no copy remains in the generic store.
+            still_here = any(
+                isinstance(v, TripleRecord) and v.triple == value.triple
+                for bucket in self.store.values() for v in bucket
+            )
+            if not still_here:
+                self.db.remove(value.triple)
+        elif isinstance(value, SchemaRecord):
+            self.local_schemas.pop(value.schema.name, None)
+        elif isinstance(value, MappingRecord):
+            self.local_mappings.pop(value.mapping.mapping_id, None)
+            self._republish_connectivity(value.mapping.source_schema)
+        elif isinstance(value, IncomingMappingRecord):
+            self.incoming_mappings.pop(value.mapping.mapping_id, None)
+            self._republish_connectivity(value.mapping.target_schema)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Degree bookkeeping (§3.1)
+    # ------------------------------------------------------------------
+
+    def _local_degree(self, schema_name: str) -> tuple[int, int]:
+        """(in, out) over active mappings recorded at this peer."""
+        out_degree = sum(
+            1 for m in self.local_mappings.values()
+            if m.active and m.source_schema == schema_name
+        )
+        in_degree = sum(
+            1 for m in self.incoming_mappings.values()
+            if m.active and m.target_schema == schema_name
+        )
+        return (in_degree, out_degree)
+
+    def _republish_connectivity(self, schema_name: str) -> None:
+        """Push ``{Schema, InDegree, OutDegree}`` to ``Hash(Domain)``.
+
+        Only the peer(s) holding the schema definition publish — the
+        paper makes "each peer storing a schema definition responsible
+        for updating the number of incoming and outgoing mappings
+        attached to its schema".  No-ops when the record is unchanged.
+        """
+        schema = self.local_schemas.get(schema_name)
+        if schema is None:
+            return
+        in_degree, out_degree = self._local_degree(schema_name)
+        record = ConnectivityRecord(schema_name, in_degree, out_degree)
+        if self._published_connectivity.get(schema_name) == record:
+            return
+        self._published_connectivity[schema_name] = record
+        self.update(domain_key(schema.domain), record)
+
+
+class _IterativeTask:
+    """Origin-side state machine of the iterative strategy.
+
+    The origin interleaves two kinds of asynchronous work: fetching
+    schema key spaces (to learn mappings) and executing reformulated
+    queries.  ``pending`` counts outstanding futures; the task resolves
+    when it reaches zero.
+    """
+
+    def __init__(self, peer: GridVinePeer, query: ConjunctiveQuery,
+                 max_hops: int, future: Future) -> None:
+        self.peer = peer
+        self.max_hops = max_hops
+        self.future = future
+        self.outcome = QueryOutcome(query=query, strategy="iterative",
+                                    issued_at=peer.loop.now)
+        self.pending = 0
+        self.seen_queries: set[ConjunctiveQuery] = {query}
+        #: schema -> list of (query, hops) posed against it
+        self.queries_by_schema: dict[str, list[tuple[ConjunctiveQuery, int]]] = {}
+        #: schema -> fetched active mappings (present once fetched)
+        self.mappings_cache: dict[str, list[SchemaMapping]] = {}
+        self.fetching: set[str] = set()
+        #: guards against resolving mid-start (a sub-operation can
+        #: complete synchronously when the origin owns the key) and
+        #: against double resolution
+        self._starting = True
+        self._finished = False
+
+    def start(self) -> None:
+        """Kick off: run the original query and learn its schemas."""
+        self._run_query(self.outcome.query, 0)
+        self._register(self.outcome.query, 0)
+        self._starting = False
+        self._maybe_finish()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _register(self, query: ConjunctiveQuery, hops: int) -> None:
+        """Note a query and trigger fetch/translate for its schemas."""
+        if hops >= self.max_hops:
+            return
+        for schema in sorted(query_schemas(query)):
+            self.queries_by_schema.setdefault(schema, []).append((query, hops))
+            if schema in self.mappings_cache:
+                self._translate_one(query, hops, schema)
+            else:
+                self._fetch_schema(schema)
+
+    def _fetch_schema(self, schema: str) -> None:
+        if schema in self.fetching or schema in self.mappings_cache:
+            return
+        self.fetching.add(schema)
+        self.pending += 1
+
+        def _on_mappings(f: Future) -> None:
+            self.mappings_cache[schema] = f.result()
+            self.fetching.discard(schema)
+            for query, hops in list(self.queries_by_schema.get(schema, ())):
+                self._translate_one(query, hops, schema)
+            self._decrement()
+
+        self.peer.fetch_mappings(schema).add_done_callback(_on_mappings)
+
+    def _translate_one(self, query: ConjunctiveQuery, hops: int,
+                       schema: str) -> None:
+        for mapping in self.mappings_cache.get(schema, ()):
+            translated = translate_query(query, mapping)
+            if translated is None or translated in self.seen_queries:
+                continue
+            self.seen_queries.add(translated)
+            self._run_query(translated, hops + 1)
+            self._register(translated, hops + 1)
+
+    def _run_query(self, query: ConjunctiveQuery, hops: int) -> None:
+        self.pending += 1
+
+        def _on_rows(f: Future) -> None:
+            self.outcome.record(query, f.result())
+            self._decrement()
+
+        self.peer._execute_query(query).add_done_callback(_on_rows)
+
+    def _decrement(self) -> None:
+        self.pending -= 1
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.pending == 0 and not self._starting and not self._finished:
+            self._finished = True
+            self.outcome.reformulations_explored = len(self.seen_queries) - 1
+            self.outcome.latency = self.peer.loop.now - self.outcome.issued_at
+            self.future.set_result(self.outcome)
+
+
+class _RecursiveTask:
+    """Origin-side termination accounting of the recursive strategy.
+
+    Each request eventually yields one report (listing the exact ids of
+    the sub-requests it spawned) and, if it executed the query, one
+    ``refo_results`` message.  A request is *settled* once its report
+    and (if due) its results have arrived; the task completes when
+    every expected request is settled.  Tracking explicit ids (rather
+    than counters) keeps the accounting correct when a child's report
+    overtakes its parent's on the network.
+    """
+
+    def __init__(self, peer: GridVinePeer, task_id: str,
+                 query: ConjunctiveQuery, future: Future) -> None:
+        self.peer = peer
+        self.task_id = task_id
+        self.future = future
+        self.outcome = QueryOutcome(query=query, strategy="recursive",
+                                    issued_at=peer.loop.now)
+        #: request ids known to be part of this task
+        self.expected: set[str] = set()
+        #: request id -> its report, once received
+        self.reports: dict[str, dict] = {}
+        #: request ids whose results have arrived
+        self.results_received: set[str] = set()
+        self.finished = False
+        self.timeout_handle = None
+
+    def on_report(self, request_id: str, report: dict) -> None:
+        """A schema peer reported which sub-requests it spawned."""
+        if self.finished:
+            return
+        self.reports[request_id] = report
+        self.expected.add(request_id)
+        self.expected.update(report.get("spawned", ()))
+        self._check_done()
+
+    def on_results(self, request_id: str, query: ConjunctiveQuery,
+                   rows: set) -> None:
+        """A schema peer streamed back one reformulation's results."""
+        if self.finished:
+            return
+        self.results_received.add(request_id)
+        self.outcome.record(query, set(rows))
+        self._check_done()
+
+    def _check_done(self) -> None:
+        for request_id in self.expected:
+            report = self.reports.get(request_id)
+            if report is None:
+                return
+            if report.get("executes") and request_id not in self.results_received:
+                return
+        self.finish(True)
+
+    def finish(self, complete: bool) -> None:
+        """Resolve the task (``complete=False`` on timeout)."""
+        if self.finished:
+            return
+        self.finished = True
+        if self.timeout_handle is not None:
+            self.timeout_handle.cancel()
+        self.peer._refo_tasks.pop(self.task_id, None)
+        self.outcome.complete = complete
+        self.outcome.reformulations_explored = max(
+            0, len(self.outcome.results_by_query) - 1
+        )
+        self.outcome.latency = self.peer.loop.now - self.outcome.issued_at
+        self.future.set_result(self.outcome)

@@ -1,0 +1,53 @@
+"""P-Grid structured overlay (the paper's *overlay layer*).
+
+A from-scratch implementation of the P-Grid distributed access
+structure used by GridVine:
+
+* peers are leaves of a virtual binary search trie; each peer ``p``
+  owns the key-space prefix ``pi(p)``;
+* for every trie level ``i < |pi(p)|`` a peer keeps *references* to
+  peers covering the complementary subtree ``pi(p)[:i] + flip`` —
+  prefix routing resolves any key in at most ``|pi(p)|`` forwarding
+  steps, i.e. ``O(log |Pi|)`` messages for balanced and unbalanced
+  tries alike;
+* peers sharing a path form a *replica group* ``sigma(p)`` and
+  duplicate each other's content for fault tolerance;
+* the two primitives of the paper, ``Retrieve(key)`` and
+  ``Update(key, value)``, are exposed both asynchronously (futures)
+  and synchronously (running the event loop to completion).
+
+Construction comes in two flavours: :func:`~repro.pgrid.construction.
+assign_paths` builds the trie top-down from an optional key sample
+(reproducing P-Grid's storage load balancing — the trie adapts its
+shape to the data distribution), and
+:func:`~repro.pgrid.construction.build_by_exchanges` grows the trie
+bottom-up through randomized pairwise exchanges, the decentralized
+protocol of the original P-Grid papers.
+"""
+
+from repro.pgrid.peer import OpResult, PGridPeer
+from repro.pgrid.construction import (
+    assign_paths,
+    build_by_exchanges,
+    populate_routing_tables,
+)
+from repro.pgrid.maintenance import MaintenanceProcess
+from repro.pgrid.membership import (
+    MembershipError,
+    graceful_leave,
+    join_network,
+)
+from repro.pgrid.overlay import PGridOverlay
+
+__all__ = [
+    "PGridPeer",
+    "OpResult",
+    "assign_paths",
+    "build_by_exchanges",
+    "populate_routing_tables",
+    "MaintenanceProcess",
+    "MembershipError",
+    "join_network",
+    "graceful_leave",
+    "PGridOverlay",
+]

@@ -1,0 +1,270 @@
+"""Building the P-Grid trie: path assignment and routing tables.
+
+Two construction modes are provided.
+
+:func:`assign_paths` (top-down, sample-driven)
+    Splits the key space recursively so that each leaf carries roughly
+    the same share of a *key sample*.  With an order-preserving hash the
+    data distribution is skewed, so the resulting trie is unbalanced in
+    depth but balanced in storage load — this reproduces P-Grid's
+    "index load-balancing" role in the GridVine architecture.
+
+:func:`build_by_exchanges` (bottom-up, decentralized)
+    The randomized pairwise-exchange protocol of the original P-Grid
+    work: peers start with empty paths, and whenever two peers with the
+    same path meet they split it (one appends ``0``, the other ``1``)
+    and adopt each other as level references; peers with diverging
+    paths exchange references at their divergence level and recursively
+    forward the meeting into deeper levels.  Used by tests and the
+    construction ablation to show the decentralized process converges
+    to the same structure the top-down builder produces directly.
+
+:func:`populate_routing_tables` fills level references for peers with
+already-assigned paths, and :func:`replica_groups` wires ``sigma(p)``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.util.keys import Key, common_prefix_length
+
+
+def _split_counts(total_leaves: int, left_weight: int, right_weight: int) -> tuple[int, int]:
+    """Apportion ``total_leaves`` between two subtrees by sample weight.
+
+    Both sides get at least one leaf (we only call this when
+    ``total_leaves >= 2``), and the split follows the sample proportions
+    as closely as integer arithmetic allows.
+    """
+    weight = left_weight + right_weight
+    if weight == 0:
+        left = total_leaves // 2
+    else:
+        left = round(total_leaves * left_weight / weight)
+    left = max(1, min(total_leaves - 1, left))
+    return left, total_leaves - left
+
+
+def _build_leaf_paths(
+    num_leaves: int,
+    sample: Sequence[Key],
+    prefix: Key,
+    max_depth: int,
+) -> list[Key]:
+    """Recursively split ``prefix`` into ``num_leaves`` leaf paths."""
+    if num_leaves <= 1 or len(prefix) >= max_depth:
+        return [prefix]
+    left_sample = [k for k in sample if k.bit(len(prefix)) == "0"]
+    right_sample = [k for k in sample if k.bit(len(prefix)) == "1"]
+    left_leaves, right_leaves = _split_counts(
+        num_leaves, len(left_sample), len(right_sample)
+    )
+    return (
+        _build_leaf_paths(left_leaves, left_sample, prefix.append("0"), max_depth)
+        + _build_leaf_paths(right_leaves, right_sample, prefix.append("1"), max_depth)
+    )
+
+
+def assign_paths(
+    num_peers: int,
+    key_sample: Sequence[Key] | None = None,
+    replication: int = 1,
+    key_bits: int = 128,
+    rng: random.Random | None = None,
+) -> dict[str, Key]:
+    """Assign trie paths to ``num_peers`` peers.
+
+    Parameters
+    ----------
+    num_peers:
+        Number of peers to place.
+    key_sample:
+        Keys representative of the data to be indexed.  When given, the
+        trie is shaped so every leaf covers roughly the same number of
+        sample keys (load balancing); when omitted the trie is split
+        evenly (balanced in depth).
+    replication:
+        Target replica-group size: the trie gets
+        ``ceil(num_peers / replication)`` leaves and peers are dealt to
+        leaves round-robin, so each leaf ends up with ``replication``
+        (±1) replicas.
+    key_bits:
+        Maximum trie depth (key width).
+    rng:
+        Used to shuffle the peer-to-leaf assignment.
+
+    Returns a mapping from node id (``"peer-<i>"``) to path.
+    """
+    if num_peers <= 0:
+        raise ValueError("num_peers must be positive")
+    if replication <= 0:
+        raise ValueError("replication must be positive")
+    rng = rng if rng is not None else random.Random(0)
+    num_leaves = max(1, (num_peers + replication - 1) // replication)
+    sample = list(key_sample) if key_sample else []
+    leaves = _build_leaf_paths(num_leaves, sample, Key(""), key_bits)
+    node_ids = [f"peer-{i}" for i in range(num_peers)]
+    rng.shuffle(node_ids)
+    assignment: dict[str, Key] = {}
+    for index, node_id in enumerate(node_ids):
+        assignment[node_id] = leaves[index % len(leaves)]
+    return assignment
+
+
+def replica_groups(assignment: dict[str, Key]) -> dict[Key, list[str]]:
+    """Group node ids by identical path (the replica groups sigma)."""
+    groups: dict[Key, list[str]] = {}
+    for node_id, path in sorted(assignment.items()):
+        groups.setdefault(path, []).append(node_id)
+    return groups
+
+
+def _covers(path: Key, prefix: Key) -> bool:
+    """Whether a peer at ``path`` can serve keys under ``prefix``.
+
+    True when the two are prefix-comparable: the peer's subtree either
+    contains ``prefix`` or is contained in it (unbalanced tries make
+    both directions possible).
+    """
+    return path.is_prefix_of(prefix) or prefix.is_prefix_of(path)
+
+
+def populate_routing_tables(
+    peers: dict[str, "PGridPeerLike"],
+    refs_per_level: int = 2,
+    rng: random.Random | None = None,
+) -> None:
+    """Fill each peer's level references and replica list in place.
+
+    For peer ``p`` and level ``i``, eligible references are all peers
+    covering the complementary prefix ``pi(p)[:i] + flip`` — forwarding
+    to any of them strictly increases the common prefix with any key
+    that diverges from ``pi(p)`` at level ``i``, which is what makes
+    greedy prefix routing terminate in at most ``|pi(p)|`` hops.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    by_path: list[tuple[Key, str]] = [
+        (peer.path, node_id) for node_id, peer in peers.items()
+    ]
+    for node_id, peer in peers.items():
+        peer.replicas = sorted(
+            other_id
+            for other_path, other_id in by_path
+            if other_id != node_id and other_path == peer.path
+        )
+        peer.routing_table = []
+        for level in range(len(peer.path)):
+            complement = peer.path.sibling_prefix(level)
+            candidates = [
+                other_id
+                for other_path, other_id in by_path
+                if other_id != node_id and _covers(other_path, complement)
+            ]
+            rng.shuffle(candidates)
+            peer.routing_table.append(sorted(candidates[:refs_per_level]))
+
+
+class PGridPeerLike:
+    """Structural type for :func:`populate_routing_tables` (documentation
+    only — any object with ``path``, ``routing_table`` and ``replicas``
+    attributes qualifies)."""
+
+    path: Key
+    routing_table: list[list[str]]
+    replicas: list[str]
+
+
+# ---------------------------------------------------------------------------
+# Decentralized, exchange-based construction
+# ---------------------------------------------------------------------------
+
+class _ExchangePeer:
+    """Mutable per-peer state for the exchange-based builder."""
+
+    __slots__ = ("node_id", "path", "refs")
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.path = Key("")
+        # level -> set of node ids
+        self.refs: list[set[str]] = []
+
+    def _ensure_level(self, level: int) -> None:
+        while len(self.refs) <= level:
+            self.refs.append(set())
+
+
+def _exchange(a: _ExchangePeer, b: _ExchangePeer, max_depth: int,
+              rng: random.Random) -> None:
+    """One pairwise meeting of the P-Grid construction protocol."""
+    cpl = common_prefix_length(a.path, b.path)
+    if cpl == len(a.path) and cpl == len(b.path):
+        # Same path: split if depth allows, becoming each other's
+        # reference at the new level.
+        if len(a.path) >= max_depth:
+            return
+        first, second = (a, b) if rng.random() < 0.5 else (b, a)
+        first.path = first.path.append("0")
+        second.path = second.path.append("1")
+        level = len(first.path) - 1
+        first._ensure_level(level)
+        second._ensure_level(level)
+        first.refs[level].add(second.node_id)
+        second.refs[level].add(first.node_id)
+        return
+    if cpl < len(a.path) and cpl < len(b.path):
+        # Paths diverge: record each other as references at the
+        # divergence level.
+        a._ensure_level(cpl)
+        b._ensure_level(cpl)
+        a.refs[cpl].add(b.node_id)
+        b.refs[cpl].add(a.node_id)
+        return
+    # One path is a strict prefix of the other: the shallower peer can
+    # deepen by adopting the complement of the deeper peer's next bit.
+    shallow, deep = (a, b) if len(a.path) < len(b.path) else (b, a)
+    next_bit = deep.path.bit(len(shallow.path))
+    shallow.path = shallow.path.append("1" if next_bit == "0" else "0")
+    level = len(shallow.path) - 1
+    shallow._ensure_level(level)
+    deep._ensure_level(level)
+    shallow.refs[level].add(deep.node_id)
+    deep.refs[level].add(shallow.node_id)
+
+
+def build_by_exchanges(
+    num_peers: int,
+    meetings: int | None = None,
+    max_depth: int | None = None,
+    rng: random.Random | None = None,
+) -> dict[str, Key]:
+    """Grow a trie through random pairwise exchanges.
+
+    Peers all start at the trie root and refine their paths through
+    ``meetings`` random encounters (default ``40 * n * log2(n)``, ample
+    for convergence at test scale).  ``max_depth`` bounds path length
+    (default ``ceil(log2(num_peers)) + 2``), preventing two chatty
+    peers from splitting forever.
+
+    Returns the final node-id-to-path assignment; reference sets built
+    during exchanges are discarded — callers typically re-derive
+    routing tables with :func:`populate_routing_tables`, which also
+    covers pairs that never met.
+    """
+    if num_peers <= 0:
+        raise ValueError("num_peers must be positive")
+    rng = rng if rng is not None else random.Random(0)
+    if max_depth is None:
+        max_depth = max(1, (num_peers - 1).bit_length() + 2)
+    if meetings is None:
+        log_n = max(1, (num_peers - 1).bit_length())
+        meetings = 40 * num_peers * log_n
+    peers = [_ExchangePeer(f"peer-{i}") for i in range(num_peers)]
+    if num_peers == 1:
+        return {peers[0].node_id: peers[0].path}
+    for _ in range(meetings):
+        a, b = rng.sample(peers, 2)
+        _exchange(a, b, max_depth, rng)
+    return {p.node_id: p.path for p in peers}

@@ -1,0 +1,606 @@
+"""A single P-Grid peer: local store, routing table, and the protocol.
+
+Protocol overview (all messages flow through ``repro.simnet``):
+
+``route``
+    Carries an operation (``retrieve`` / ``insert`` / ``remove``)
+    toward the peer responsible for ``key``.  Each peer either answers
+    locally (its path is a prefix of the key) or forwards the message
+    to a reference at the trie level where its path and the key
+    diverge — the defining step of prefix routing.
+
+``reply``
+    Sent directly from the answering peer back to the operation's
+    origin (one hop, as in the paper's description of query
+    resolution).
+
+``replicate``
+    Fans a successful mutation out to the responsible peer's replica
+    group ``sigma(p)``; replicas apply it without replying.
+
+Origins keep a pending-operation table with timeouts: if a reply does
+not arrive in time (offline peer on the path, message drop), the
+operation is retried with a fresh id up to ``max_retries`` times before
+the future resolves as failed.  This mirrors P-Grid's "probabilistic
+guarantees ... even in highly unreliable, dynamic environments".
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simnet.events import Future
+from repro.simnet.network import Message, Node
+from repro.util.keys import Key, common_prefix_length
+
+
+@dataclass
+class OpResult:
+    """Outcome of a Retrieve or Update operation.
+
+    ``hops`` counts forwarding steps of the winning attempt (0 when the
+    origin itself was responsible); ``latency`` is virtual seconds from
+    issue to completion, including failed attempts; ``values`` is the
+    retrieved list for retrieves and ``None`` for updates.
+    """
+
+    key: Key
+    success: bool
+    values: list[Any] | None = None
+    hops: int = 0
+    latency: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class _Pending:
+    """Origin-side state of one in-flight operation."""
+
+    future: Future
+    key: Key
+    op: str
+    value: Any
+    issued_at: float
+    attempts: int = 1
+    timeout_handle: Any = None
+    extra: dict = field(default_factory=dict)
+
+
+class PGridPeer(Node):
+    """One peer of the P-Grid trie.
+
+    Parameters
+    ----------
+    node_id:
+        Network identity.
+    path:
+        The binary prefix ``pi(p)`` this peer is responsible for.
+    rng:
+        Randomness for reference selection (ties on equal-level refs).
+    timeout:
+        Seconds an origin waits for a reply before retrying.
+    max_retries:
+        Additional attempts after the first one fails.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        path: Key,
+        rng: random.Random | None = None,
+        timeout: float = 15.0,
+        max_retries: int = 2,
+    ) -> None:
+        super().__init__(node_id)
+        self.path = path
+        self.rng = rng if rng is not None else random.Random(0)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        #: level -> list of node ids covering the complementary subtree
+        self.routing_table: list[list[str]] = [[] for _ in range(len(path))]
+        #: replica group sigma(p): other peers with the same path
+        self.replicas: list[str] = []
+        #: local store: key bits -> list of values
+        self.store: dict[str, list[Any]] = {}
+        self._op_ids = itertools.count()
+        self._pending: dict[str, _Pending] = {}
+        #: origin-side state of multi-peer range queries
+        self._range_tasks: dict[str, _RangeTask] = {}
+        #: outstanding liveness probes (token -> (level, ref node id))
+        self._probe_pending: dict[str, tuple[int, str]] = {}
+        #: failure-detector quarantine: refs recently observed dead are
+        #: not re-adopted until their expiry time (node id -> time)
+        self.ref_blacklist: dict[str, float] = {}
+        #: maintenance counters (filled by pgrid.maintenance)
+        self.maintenance_stats = {
+            "probes_sent": 0, "refs_dropped": 0, "refs_added": 0,
+            "sync_pushes": 0, "values_repaired": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Local storage
+    # ------------------------------------------------------------------
+
+    def is_responsible_for(self, key: Key) -> bool:
+        """Whether ``key`` falls in this peer's key-space partition."""
+        return self.path.is_prefix_of(key)
+
+    def local_insert(self, key: Key, value: Any) -> None:
+        """Append a value under ``key`` in the local store."""
+        self.store.setdefault(key.bits, []).append(value)
+
+    def local_remove(self, key: Key, value: Any) -> int:
+        """Remove all copies of ``value`` under ``key``; return count."""
+        bucket = self.store.get(key.bits)
+        if not bucket:
+            return 0
+        before = len(bucket)
+        bucket[:] = [v for v in bucket if v != value]
+        if not bucket:
+            del self.store[key.bits]
+        return before - len(bucket)
+
+    def local_retrieve(self, key: Key) -> list[Any]:
+        """All values stored under exactly ``key``."""
+        return list(self.store.get(key.bits, ()))
+
+    def local_retrieve_prefix(self, prefix: Key) -> list[Any]:
+        """All locally stored values whose key extends ``prefix``.
+
+        When ``prefix`` is *shorter* than this peer's path, this
+        returns the peer's share of the prefix's subtree (the rest
+        lives on other peers — see :meth:`range_query`).
+        """
+        return [
+            value
+            for bits, values in self.store.items()
+            if bits.startswith(prefix.bits)
+            for value in values
+        ]
+
+    def local_merge(self, key: Key, value: Any) -> bool:
+        """Insert ``value`` under ``key`` unless an equal copy exists.
+
+        Used by replica anti-entropy, where the same item may be pushed
+        repeatedly; plain :meth:`local_insert` would accumulate
+        duplicates.
+        """
+        bucket = self.store.get(key.bits, ())
+        if value in bucket:
+            return False
+        self.local_insert(key, value)
+        return True
+
+    def storage_load(self) -> int:
+        """Number of values stored locally (load-balancing metric)."""
+        return sum(len(v) for v in self.store.values())
+
+    # ------------------------------------------------------------------
+    # Public operations (origin side)
+    # ------------------------------------------------------------------
+
+    def retrieve(self, key: Key) -> Future:
+        """Start a ``Retrieve(key)``; resolves to an :class:`OpResult`."""
+        return self._start_op("retrieve", key, None)
+
+    def retrieve_prefix(self, prefix: Key) -> Future:
+        """Prefix variant of retrieve (requires prefix >= leaf depth)."""
+        return self._start_op("retrieve_prefix", prefix, None)
+
+    def update(self, key: Key, value: Any, action: str = "insert") -> Future:
+        """Start an ``Update(key, value)``.
+
+        ``action`` is ``"insert"`` or ``"remove"`` — the paper uses one
+        generic Update primitive for insertion, update and deletion.
+        """
+        if action not in ("insert", "remove"):
+            raise ValueError(f"unknown update action {action!r}")
+        return self._start_op(action, key, value)
+
+    def _start_op(self, op: str, key: Key, value: Any) -> Future:
+        op_id = f"{self.node_id}:{next(self._op_ids)}"
+        future: Future = Future()
+        pending = _Pending(
+            future=future,
+            key=key,
+            op=op,
+            value=value,
+            issued_at=self.loop.now,
+        )
+        self._pending[op_id] = pending
+        self._attempt(op_id)
+        return future
+
+    def _attempt(self, op_id: str) -> None:
+        """(Re)issue the routing step for a pending operation."""
+        pending = self._pending.get(op_id)
+        if pending is None:
+            return
+        pending.timeout_handle = self.loop.schedule(
+            self.timeout, self._on_timeout, op_id
+        )
+        self._handle_route(Message(
+            kind="route",
+            src=self.node_id,
+            dst=self.node_id,
+            payload={
+                "op": pending.op,
+                "op_id": op_id,
+                "key": pending.key.bits,
+                "origin": self.node_id,
+                "value": pending.value,
+            },
+            hops=0,
+        ))
+
+    def _on_timeout(self, op_id: str) -> None:
+        pending = self._pending.get(op_id)
+        if pending is None:
+            return
+        if pending.attempts <= self.max_retries:
+            pending.attempts += 1
+            self._attempt(op_id)
+            return
+        del self._pending[op_id]
+        pending.future.set_result(OpResult(
+            key=pending.key,
+            success=False,
+            hops=0,
+            latency=self.loop.now - pending.issued_at,
+            attempts=pending.attempts,
+        ))
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "route":
+            self._handle_route(message)
+        elif message.kind == "reply":
+            self._handle_reply(message)
+        elif message.kind == "replicate":
+            self._handle_replicate(message)
+        elif message.kind == "probe":
+            self.send(message.src, "probe_ack",
+                      {"token": message.payload["token"]})
+        elif message.kind == "probe_ack":
+            self._probe_pending.pop(message.payload["token"], None)
+        elif message.kind == "refs_request":
+            self._handle_refs_request(message)
+        elif message.kind == "refs_reply":
+            self._handle_refs_reply(message)
+        elif message.kind == "sync_push":
+            self._handle_sync_push(message)
+        else:
+            raise ValueError(f"unknown message kind {message.kind!r}")
+
+    def _handle_route(self, message: Message) -> None:
+        key = Key(message.payload["key"])
+        if message.hops > len(key) + 8:
+            # Safety net: greedy forwarding strictly extends the
+            # common prefix, so a legitimate route never exceeds the
+            # key width; anything longer indicates a poisoned table.
+            return
+        if self.is_responsible_for(key) or not len(self.path):
+            self._answer(message, key)
+            return
+        level = common_prefix_length(self.path, key)
+        if level >= len(self.path) or level >= len(key):
+            # Prefix-comparable in either direction: for full-width
+            # keys this means we own the key; for short prefix keys
+            # (range queries) our leaf lies inside the prefix's
+            # subtree, making us a valid entry point for the shower.
+            self._answer(message, key)
+            return
+        next_hop = self._pick_reference(level)
+        if next_hop is None:
+            # Dead end: no live reference toward the key.  Drop; the
+            # origin's timeout will retry (possibly through another
+            # replica of the first hop).
+            return
+        self.send(
+            next_hop, "route", dict(message.payload), hops=message.hops + 1
+        )
+
+    def _pick_reference(self, level: int) -> str | None:
+        """A uniformly random reference at ``level``.
+
+        The peer has no oracle for remote liveness: it only knows what
+        the maintenance process's probing has taught it (dead
+        references get dropped from the table, recently-dead ones sit
+        in ``ref_blacklist``).  Blacklisted refs are avoided when an
+        alternative exists; losses surface as origin-side timeouts and
+        retries.
+        """
+        refs = self.routing_table[level]
+        if not refs:
+            return None
+        now = self.loop.now
+        trusted = [r for r in refs
+                   if self.ref_blacklist.get(r, 0.0) <= now]
+        return self.rng.choice(trusted if trusted else refs)
+
+    def _execute_op(self, op: str, key: Key, value: Any) -> tuple[list[Any] | None, bool]:
+        """Apply one operation against local state.
+
+        Returns ``(values, mutated)`` — ``values`` goes into the reply,
+        ``mutated`` triggers replica propagation.  Subclasses extend
+        this to add mediation-layer operations.
+        """
+        if op == "retrieve":
+            return self.local_retrieve(key), False
+        if op == "retrieve_prefix":
+            return self.local_retrieve_prefix(key), False
+        if op == "range":
+            return self._handle_range(key, value), False  # type: ignore[return-value]
+        if op == "refs_lookup":
+            # Routed reference discovery: whoever answers covers the
+            # requested prefix, so it can vouch for itself and its
+            # replica group.
+            return [self.node_id] + list(self.replicas), False
+        if op == "insert":
+            self.local_insert(key, value)
+            return None, True
+        if op == "remove":
+            self.local_remove(key, value)
+            return None, True
+        raise ValueError(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # Range queries (subtree multicast, a.k.a. the P-Grid "shower")
+    # ------------------------------------------------------------------
+
+    def range_query(self, prefix: Key, timeout: float | None = None) -> Future:
+        """Retrieve every value whose key extends ``prefix``.
+
+        A short prefix can span many leaves, so this is a *multicast*:
+        greedy routing delivers the request to one peer inside the
+        subtree, which answers for its own leaf and delegates each
+        remaining sibling subtree under ``prefix`` to a level
+        reference (the classic P-Grid shower — each subtree handled
+        exactly once, no duplicate work).  Termination uses the same
+        spawn-accounting as recursive reformulation; a timeout guards
+        against losses under churn.  Resolves to an :class:`OpResult`
+        whose ``values`` is the aggregated list.
+        """
+        task_id = f"{self.node_id}:{next(self._op_ids)}"
+        future: Future = Future()
+        task = _RangeTask(self, task_id, prefix, future)
+        self._range_tasks[task_id] = task
+        task.timeout_handle = self.loop.schedule(
+            timeout if timeout is not None else self.timeout * 3,
+            task.finish, False,
+        )
+        root_id = self._send_range(prefix, task_id)
+        task.expected.add(root_id)
+        return task.future
+
+    def _send_range(self, prefix: Key, task_id: str) -> str:
+        op_id = f"range!{task_id}!{self.node_id}:{next(self._op_ids)}"
+        self._handle_route(Message(
+            kind="route",
+            src=self.node_id,
+            dst=self.node_id,
+            payload={
+                "op": "range",
+                "op_id": op_id,
+                "key": prefix.bits,
+                "origin": task_id.split(":", 1)[0],
+                "value": {"task_id": task_id, "request_id": op_id},
+            },
+            hops=0,
+        ))
+        return op_id
+
+    def _handle_range(self, prefix: Key, value: dict) -> dict:
+        """Answer for this leaf and delegate sibling subtrees.
+
+        Routing delivered the request here because our path and the
+        prefix are prefix-comparable.  If our path is *deeper* than the
+        prefix, the levels between them index sibling subtrees still
+        inside the prefix's subtree — exactly our level references for
+        those levels, so each gets one sub-request.
+        """
+        task_id = value["task_id"]
+        spawned: list[str] = []
+        for level in range(len(prefix), len(self.path)):
+            sibling = self.path.sibling_prefix(level)
+            next_hop = self._pick_reference(level)
+            if next_hop is None:
+                continue  # that subtree's share is lost; timeout covers it
+            spawned.append(self._send_range(sibling, task_id))
+        return {
+            "range_values": self.local_retrieve_prefix(prefix),
+            "spawned": spawned,
+        }
+
+    def _on_range_report(self, op_id: str, payload: dict) -> None:
+        task_id = op_id.split("!", 2)[1]
+        task = self._range_tasks.get(task_id)
+        if task is None:
+            return
+        task.on_report(op_id, payload.get("values")
+                       or {"range_values": [], "spawned": []})
+
+    def _on_refs_lookup_reply(self, op_id: str, payload: dict) -> None:
+        """Adopt references discovered by a routed refs_lookup."""
+        try:
+            level = int(op_id.split("!", 2)[1])
+        except (IndexError, ValueError):
+            return
+        if level >= len(self.routing_table):
+            return
+        refs = self.routing_table[level]
+        complement = self.path.sibling_prefix(level)
+        answered_by = payload.get("answered_by")
+        now = self.loop.now
+        for candidate in payload.get("values") or ():
+            if candidate == self.node_id or candidate in refs:
+                continue
+            if self.ref_blacklist.get(candidate, 0.0) > now:
+                continue
+            # The answering peer vouches for itself and its replicas;
+            # we additionally know the answer came through a route
+            # that terminated inside the complement's subtree.
+            refs.append(candidate)
+            self.maintenance_stats["refs_added"] += 1
+        del answered_by, complement  # (kept for symmetry/debugging)
+
+    # ------------------------------------------------------------------
+    # Maintenance handlers (driven by pgrid.maintenance)
+    # ------------------------------------------------------------------
+
+    def _handle_refs_request(self, message: Message) -> None:
+        """Offer peers *verifiably* covering the requested prefix.
+
+        Only this peer itself and its replicas are offered (their path
+        is known to be ours); offering third-party references whose
+        paths we cannot verify could poison the requester's table and
+        break the forwarding invariant that every hop strictly extends
+        the common prefix with the target key.
+        """
+        target = Key(message.payload["prefix"])
+        candidates: list[str] = []
+        if target.is_prefix_of(self.path) or self.path.is_prefix_of(target):
+            candidates.append(self.node_id)
+            candidates.extend(self.replicas)
+        self.send(message.src, "refs_reply", {
+            "prefix": target.bits,
+            "level": message.payload["level"],
+            "candidates": sorted(set(candidates)),
+        })
+
+    def _handle_refs_reply(self, message: Message) -> None:
+        """Adopt offered references for the thin level."""
+        level = message.payload["level"]
+        if level >= len(self.routing_table):
+            return
+        expected = self.path.sibling_prefix(level)
+        if Key(message.payload["prefix"]) != expected:
+            return  # stale reply for a different complement
+        refs = self.routing_table[level]
+        now = self.loop.now
+        for candidate in message.payload["candidates"]:
+            if candidate == self.node_id or candidate in refs:
+                continue
+            if self.ref_blacklist.get(candidate, 0.0) > now:
+                continue  # observed dead recently; quarantine
+            refs.append(candidate)
+            self.maintenance_stats["refs_added"] += 1
+
+    def _handle_sync_push(self, message: Message) -> None:
+        """Anti-entropy: merge a replica's store snapshot."""
+        for bits, value in message.payload["items"]:
+            if self.local_merge(Key(bits), value):
+                self.maintenance_stats["values_repaired"] += 1
+
+    def _answer(self, message: Message, key: Key) -> None:
+        """Apply the operation locally and reply to the origin."""
+        op = message.payload["op"]
+        value = message.payload.get("value")
+        values, mutated = self._execute_op(op, key, value)
+        if mutated:
+            self._propagate_to_replicas(op, key, value)
+        origin = message.payload["origin"]
+        reply_payload = {
+            "op_id": message.payload["op_id"],
+            "values": values,
+            "hops": message.hops,
+            "answered_by": self.node_id,
+        }
+        if origin == self.node_id:
+            self._complete(reply_payload)
+        else:
+            self.send(origin, "reply", reply_payload, hops=message.hops + 1)
+
+    def _propagate_to_replicas(self, op: str, key: Key, value: Any) -> None:
+        for replica in self.replicas:
+            self.send(replica, "replicate", {
+                "op": op,
+                "key": key.bits,
+                "value": value,
+            })
+
+    def _handle_replicate(self, message: Message) -> None:
+        key = Key(message.payload["key"])
+        if message.payload["op"] == "insert":
+            self.local_insert(key, message.payload["value"])
+        else:
+            self.local_remove(key, message.payload["value"])
+
+    def _handle_reply(self, message: Message) -> None:
+        self._complete(message.payload, hops_override=message.payload["hops"])
+
+    def _complete(self, payload: dict, hops_override: int | None = None) -> None:
+        op_id = payload["op_id"]
+        if str(op_id).startswith("range!"):
+            self._on_range_report(op_id, payload)
+            return
+        if str(op_id).startswith("refslkp!"):
+            self._on_refs_lookup_reply(op_id, payload)
+            return
+        pending = self._pending.pop(op_id, None)
+        if pending is None:
+            return  # late duplicate after a retry already answered
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        pending.future.set_result(OpResult(
+            key=pending.key,
+            success=True,
+            values=payload.get("values"),
+            hops=hops_override if hops_override is not None else payload["hops"],
+            latency=self.loop.now - pending.issued_at,
+            attempts=pending.attempts,
+        ))
+
+
+class _RangeTask:
+    """Origin-side accounting of a subtree-multicast range query.
+
+    Identical termination logic to recursive reformulation: every
+    sub-request eventually reports the values of its leaf plus the ids
+    of the sub-requests it spawned; the task completes when every
+    expected id has reported.
+    """
+
+    def __init__(self, peer: PGridPeer, task_id: str, prefix: Key,
+                 future: Future) -> None:
+        self.peer = peer
+        self.task_id = task_id
+        self.prefix = prefix
+        self.future = future
+        self.issued_at = peer.loop.now
+        self.expected: set[str] = set()
+        self.reported: set[str] = set()
+        self.values: list[Any] = []
+        self.finished = False
+        self.timeout_handle: Any = None
+
+    def on_report(self, request_id: str, report: dict) -> None:
+        if self.finished:
+            return
+        self.reported.add(request_id)
+        self.expected.add(request_id)
+        self.expected.update(report.get("spawned", ()))
+        self.values.extend(report.get("range_values", ()))
+        if self.expected <= self.reported:
+            self.finish(True)
+
+    def finish(self, complete: bool) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        if self.timeout_handle is not None:
+            self.timeout_handle.cancel()
+        self.peer._range_tasks.pop(self.task_id, None)
+        self.future.set_result(OpResult(
+            key=self.prefix,
+            success=complete,
+            values=self.values,
+            hops=len(self.reported),
+            latency=self.peer.loop.now - self.issued_at,
+        ))

@@ -1,0 +1,38 @@
+"""RDF-style data model: terms, triples, patterns and the query parser.
+
+GridVine "stores data as ternary relations called triples.  Triples are
+a natural way to encode RDF information, but can also be used to encode
+arbitrary relational structures" (§2.2).  This package implements the
+fragment the paper uses:
+
+* :class:`~repro.rdf.terms.URI`, :class:`~repro.rdf.terms.Literal` and
+  :class:`~repro.rdf.terms.Variable` terms;
+* :class:`~repro.rdf.triples.Triple` — ``(subject, predicate, object)``;
+* :class:`~repro.rdf.patterns.TriplePattern` — the unit of querying,
+  with SQL-LIKE ``%substring%`` literal matching (the paper's
+  ``%Aspergillus%`` example) and most-specific-constant selection for
+  overlay routing;
+* :class:`~repro.rdf.patterns.ConjunctiveQuery` — several patterns
+  joined on shared variables, resolved iteratively;
+* :func:`~repro.rdf.parser.parse_search_for` — a parser for the
+  paper's ``SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))``
+  surface syntax.
+"""
+
+from repro.rdf.terms import URI, Literal, Term, Variable
+from repro.rdf.triples import Position, Triple
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+from repro.rdf.parser import ParseError, parse_search_for
+
+__all__ = [
+    "URI",
+    "Literal",
+    "Variable",
+    "Term",
+    "Triple",
+    "Position",
+    "TriplePattern",
+    "ConjunctiveQuery",
+    "parse_search_for",
+    "ParseError",
+]

@@ -1,0 +1,133 @@
+"""Parser for the paper's ``SearchFor`` query syntax.
+
+Grammar (whitespace-insensitive)::
+
+    query    := "SearchFor(" heads ":" body ")"
+    heads    := var ("," var)*
+    body     := pattern ("AND" pattern)*
+    pattern  := "(" term "," term "," term ")"
+    term     := var | like | literal | uri
+    var      := NAME "?"
+    like     := "%" TEXT "%"
+    literal  := '"' TEXT '"'
+    uri      := TEXT          (anything else; may contain '#' or ':')
+
+Examples from the paper::
+
+    SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))
+    SearchFor(x2? : (x2?, EMP#SystematicName, %Aspergillus%))
+
+Conjunctive extension::
+
+    SearchFor(x?, y? : (x?, EMBL#Organism, %Aspergillus%)
+                   AND (x?, EMBL#SeqLength, y?))
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+from repro.rdf.terms import Literal, Term, URI, Variable
+
+
+class ParseError(ValueError):
+    """Raised when a query string does not follow the grammar."""
+
+
+_QUERY_RE = re.compile(r"^\s*SearchFor\s*\(\s*(?P<heads>.*?)\s*:\s*(?P<body>.*)\)\s*$",
+                       re.DOTALL)
+_VARIABLE_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\?$")
+
+
+def _parse_term(text: str) -> Term:
+    """Parse one term token."""
+    token = text.strip()
+    if not token:
+        raise ParseError("empty term")
+    var_match = _VARIABLE_RE.match(token)
+    if var_match:
+        return Variable(var_match.group(1))
+    if token.startswith("%") and token.endswith("%") and len(token) >= 2:
+        return Literal(token)
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return Literal(token[1:-1])
+    if token.startswith("<") and token.endswith(">") and len(token) > 2:
+        # Angle-bracketed URIs, as produced by str(URI(...)).
+        return URI(token[1:-1])
+    return URI(token)
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on ``separator`` outside parentheses and quotes."""
+    parts: list[str] = []
+    depth = 0
+    in_quote = False
+    current: list[str] = []
+    i = 0
+    sep_len = len(separator)
+    while i < len(text):
+        ch = text[i]
+        if ch == '"':
+            in_quote = not in_quote
+        elif not in_quote:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth < 0:
+                    raise ParseError("unbalanced parentheses")
+            elif depth == 0 and text[i:i + sep_len] == separator:
+                parts.append("".join(current))
+                current = []
+                i += sep_len
+                continue
+        current.append(ch)
+        i += 1
+    if in_quote:
+        raise ParseError("unterminated string literal")
+    if depth != 0:
+        raise ParseError("unbalanced parentheses")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_pattern(text: str) -> TriplePattern:
+    token = text.strip()
+    if not (token.startswith("(") and token.endswith(")")):
+        raise ParseError(f"pattern must be parenthesized: {token!r}")
+    inner = token[1:-1]
+    fields = _split_top_level(inner, ",")
+    if len(fields) != 3:
+        raise ParseError(f"pattern needs exactly 3 terms: {token!r}")
+    subject, predicate, obj = (_parse_term(f) for f in fields)
+    try:
+        return TriplePattern(subject, predicate, obj)
+    except TypeError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def parse_search_for(text: str) -> ConjunctiveQuery:
+    """Parse a ``SearchFor`` query string into a query object.
+
+    >>> q = parse_search_for(
+    ...     "SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))")
+    >>> str(q.distinguished[0])
+    'x?'
+    """
+    match = _QUERY_RE.match(text)
+    if not match:
+        raise ParseError(f"not a SearchFor query: {text!r}")
+    head_tokens = _split_top_level(match.group("heads"), ",")
+    distinguished = []
+    for token in head_tokens:
+        term = _parse_term(token)
+        if not isinstance(term, Variable):
+            raise ParseError(f"distinguished term must be a variable: {token!r}")
+        distinguished.append(term)
+    body_tokens = _split_top_level(match.group("body"), "AND")
+    patterns = [_parse_pattern(token) for token in body_tokens]
+    try:
+        return ConjunctiveQuery(patterns, distinguished)
+    except ValueError as exc:
+        raise ParseError(str(exc)) from exc

@@ -1,0 +1,304 @@
+"""Triple patterns and conjunctive queries.
+
+"A triple pattern is an expression of the form (s, p, o) where s and p
+are URIs or variables, and o is a URI, a literal or a variable" (§2.3,
+after RDQL).  Queries return bindings of *distinguished variables*;
+conjunctive queries join several patterns on their shared variables.
+
+The module also implements the paper's routing-key choice: "A peer
+issuing a triple pattern query q first has to determine the address
+space key ... by taking a hash of one of the constant terms ... When
+two constant terms appear in the triple pattern, the most specific one
+should be used."  LIKE literals (``%...%``) are never routable — the
+order-preserving hash of a wildcard tells us nothing about where the
+matching values live — which is precisely why the paper's example
+routes on the predicate even though the object is also constant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.rdf.terms import (
+    GroundTerm,
+    Literal,
+    Term,
+    URI,
+    Variable,
+    is_ground,
+)
+from repro.rdf.triples import ALL_POSITIONS, Position, Triple
+
+#: Tie-break order among routable constants, most specific first.
+#: Subjects identify a single resource, objects a value, predicates an
+#: entire attribute extent — so subject > object > predicate.
+_SPECIFICITY_ORDER = (Position.SUBJECT, Position.OBJECT, Position.PREDICATE)
+
+#: A variable-to-value assignment produced by pattern matching.
+Bindings = Mapping[Variable, GroundTerm]
+
+
+class TriplePattern:
+    """One triple pattern, the unit of querying.
+
+    >>> p = TriplePattern(Variable("x"), URI("EMBL#Organism"),
+    ...                   Literal("%Aspergillus%"))
+    >>> p.routing_position()
+    <Position.PREDICATE: 'predicate'>
+    """
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Term, predicate: Term, obj: Term) -> None:
+        if isinstance(subject, Literal):
+            raise TypeError("pattern subject must be a URI or variable")
+        if isinstance(predicate, Literal):
+            raise TypeError("pattern predicate must be a URI or variable")
+        object.__setattr__(self, "subject", subject)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "object", obj)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("TriplePattern is immutable")
+
+    # -- structure ------------------------------------------------------
+
+    def at(self, position: Position) -> Term:
+        """The term at ``position``."""
+        if position is Position.SUBJECT:
+            return self.subject
+        if position is Position.PREDICATE:
+            return self.predicate
+        return self.object
+
+    def replace(self, position: Position, term: Term) -> "TriplePattern":
+        """A copy with the term at ``position`` replaced.
+
+        This is the primitive that view unfolding uses to rewrite a
+        pattern's predicate through a schema mapping.
+        """
+        parts = {pos: self.at(pos) for pos in ALL_POSITIONS}
+        parts[position] = term
+        return TriplePattern(
+            parts[Position.SUBJECT],
+            parts[Position.PREDICATE],
+            parts[Position.OBJECT],
+        )
+
+    def variables(self) -> set[Variable]:
+        """All variables appearing in the pattern."""
+        return {t for t in (self.subject, self.predicate, self.object)
+                if isinstance(t, Variable)}
+
+    def substitute(self, bindings: "Bindings") -> "TriplePattern":
+        """A copy with bound variables replaced by their values.
+
+        The workhorse of bound-join execution: substituting the
+        bindings produced by earlier patterns turns later patterns
+        into (more) constant-constrained lookups.
+
+        >>> p = TriplePattern(Variable("x"), URI("S#len"), Variable("y"))
+        >>> str(p.substitute({Variable("x"): URI("S:e1")}))
+        '(<S:e1>, <S#len>, y?)'
+        """
+        parts = []
+        for pos in ALL_POSITIONS:
+            term = self.at(pos)
+            if isinstance(term, Variable) and term in bindings:
+                term = bindings[term]
+            parts.append(term)
+        return TriplePattern(*parts)
+
+    def constants(self) -> dict[Position, GroundTerm]:
+        """Ground terms by position."""
+        return {
+            pos: self.at(pos)
+            for pos in ALL_POSITIONS
+            if is_ground(self.at(pos))
+        }
+
+    # -- routing ----------------------------------------------------------
+
+    def routing_position(self) -> Position:
+        """Position of the most specific *routable* constant.
+
+        ``%substring%`` literals are never routable (their hash says
+        nothing about where matches live).  Exact constants rank
+        subject > object > predicate; a ``prefix%`` literal is routable
+        through a range query but less specific than any exact
+        constant, so it is only chosen when nothing exact exists.
+        Raises :class:`ValueError` for patterns with no routable
+        constant.
+        """
+        exact: list[Position] = []
+        prefix: list[Position] = []
+        for pos in _SPECIFICITY_ORDER:
+            term = self.at(pos)
+            if not is_ground(term):
+                continue
+            if isinstance(term, Literal) and term.is_like_pattern:
+                continue
+            if isinstance(term, Literal) and term.is_prefix_pattern:
+                prefix.append(pos)
+                continue
+            exact.append(pos)
+        if exact:
+            return exact[0]
+        if prefix:
+            return prefix[0]
+        raise ValueError(f"pattern {self} has no routable constant")
+
+    def routing_constant(self) -> GroundTerm:
+        """The constant at :meth:`routing_position`."""
+        return self.at(self.routing_position())  # type: ignore[return-value]
+
+    def routing_mode(self) -> str:
+        """``"exact"`` for a key lookup, ``"prefix"`` for a range query."""
+        term = self.routing_constant()
+        if isinstance(term, Literal) and term.is_prefix_pattern:
+            return "prefix"
+        return "exact"
+
+    # -- matching ---------------------------------------------------------
+
+    def matches(self, triple: Triple,
+                bindings: Bindings | None = None) -> dict[Variable, GroundTerm] | None:
+        """Match a ground triple, extending optional prior bindings.
+
+        Returns the (possibly extended) bindings dict on success, or
+        ``None`` on mismatch.  LIKE literals match by substring;
+        repeated variables must bind consistently.
+        """
+        result: dict[Variable, GroundTerm] = dict(bindings) if bindings else {}
+        for pos in ALL_POSITIONS:
+            pattern_term = self.at(pos)
+            triple_term = triple.at(pos)
+            if isinstance(pattern_term, Variable):
+                bound = result.get(pattern_term)
+                if bound is None:
+                    result[pattern_term] = triple_term
+                elif bound != triple_term:
+                    return None
+            elif isinstance(pattern_term, Literal):
+                if not pattern_term.matches_value(triple_term):
+                    return None
+            else:  # URI constant
+                if pattern_term != triple_term:
+                    return None
+        return result
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self.subject, self.predicate, self.object)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TriplePattern):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(("TriplePattern", self._key()))
+
+    def __repr__(self) -> str:
+        return (f"TriplePattern({self.subject!r}, {self.predicate!r}, "
+                f"{self.object!r})")
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"
+
+
+class ConjunctiveQuery:
+    """A conjunction of triple patterns with distinguished variables.
+
+    ``SearchFor(x? : (s, p, o))`` is the single-pattern case;
+    conjunctive queries "can be resolved in a similar manner, by
+    iteratively resolving each triple pattern contained in the query
+    and aggregating the sets of results retrieved" (§2.3).
+
+    >>> q = ConjunctiveQuery(
+    ...     [TriplePattern(Variable("x"), URI("EMBL#Organism"),
+    ...                    Literal("%Aspergillus%"))],
+    ...     distinguished=[Variable("x")])
+    >>> len(q.patterns)
+    1
+    """
+
+    __slots__ = ("patterns", "distinguished")
+
+    def __init__(self, patterns: Iterable[TriplePattern],
+                 distinguished: Iterable[Variable]) -> None:
+        patterns = tuple(patterns)
+        distinguished = tuple(distinguished)
+        if not patterns:
+            raise ValueError("a query needs at least one pattern")
+        if not distinguished:
+            raise ValueError("a query needs at least one distinguished variable")
+        all_vars: set[Variable] = set()
+        for pattern in patterns:
+            all_vars |= pattern.variables()
+        missing = [v for v in distinguished if v not in all_vars]
+        if missing:
+            raise ValueError(
+                f"distinguished variable(s) {missing} do not appear in any pattern"
+            )
+        object.__setattr__(self, "patterns", patterns)
+        object.__setattr__(self, "distinguished", distinguished)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("ConjunctiveQuery is immutable")
+
+    def variables(self) -> set[Variable]:
+        """Union of all pattern variables."""
+        result: set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+    def is_single_pattern(self) -> bool:
+        """True for plain triple-pattern queries."""
+        return len(self.patterns) == 1
+
+    def project(self, bindings: Bindings) -> tuple[GroundTerm, ...]:
+        """Project a full bindings dict onto the distinguished variables."""
+        return tuple(bindings[v] for v in self.distinguished)
+
+    def _key(self) -> tuple:
+        return (self.patterns, self.distinguished)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(("ConjunctiveQuery", self._key()))
+
+    def __repr__(self) -> str:
+        return (f"ConjunctiveQuery({list(self.patterns)!r}, "
+                f"distinguished={list(self.distinguished)!r})")
+
+    def __str__(self) -> str:
+        heads = ", ".join(str(v) for v in self.distinguished)
+        body = " AND ".join(str(p) for p in self.patterns)
+        return f"SearchFor({heads} : {body})"
+
+
+def join_bindings(
+    left: Iterable[dict[Variable, GroundTerm]],
+    right: Iterable[dict[Variable, GroundTerm]],
+) -> list[dict[Variable, GroundTerm]]:
+    """Natural join of two binding sets on their shared variables.
+
+    The building block of iterative conjunctive-query resolution: the
+    bindings retrieved for each pattern are joined pairwise.
+    """
+    right_list = list(right)
+    joined: list[dict[Variable, GroundTerm]] = []
+    for lb in left:
+        for rb in right_list:
+            if all(lb[v] == rb[v] for v in lb.keys() & rb.keys()):
+                merged = dict(lb)
+                merged.update(rb)
+                joined.append(merged)
+    return joined

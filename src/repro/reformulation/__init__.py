@@ -1,0 +1,21 @@
+"""Query reformulation across the network of mappings (§3, §4).
+
+"By iterating this process over several mappings, a query can traverse
+a sequence of schemas at the mediation layer and retrieve all relevant
+results, irrespective of their schemas."
+
+This package holds the *logic* of reformulation — planning which
+reformulated queries exist and along which mapping paths
+(:mod:`repro.reformulation.planner`).  The two *distributed execution
+strategies* of §4 (iterative: the issuing peer walks mapping paths
+itself; recursive: successive reformulations are delegated to the
+intermediate peers holding the mappings) are implemented in
+:mod:`repro.mediation.peer` on top of this logic.
+"""
+
+from repro.reformulation.planner import (
+    Reformulation,
+    plan_reformulations,
+)
+
+__all__ = ["Reformulation", "plan_reformulations"]

@@ -1,0 +1,92 @@
+"""Breadth-first reformulation planning over a mapping graph.
+
+Given a query and a :class:`~repro.mapping.graph.MappingGraph`, the
+planner enumerates every distinct reformulated query reachable through
+active mappings, together with the mapping path that produced it.
+This is the sequential core both distributed strategies share; they
+differ only in *where* each translation step runs and which messages it
+costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.graph import MappingGraph
+from repro.mapping.model import SchemaMapping
+from repro.mapping.unfolding import query_schemas, translate_query
+from repro.rdf.patterns import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class Reformulation:
+    """One reformulated query plus its provenance.
+
+    ``path`` is the mapping chain from the original query's schema; an
+    empty path denotes the original query itself.  ``min_confidence``
+    is the weakest mapping confidence along the path — a crude but
+    useful quality proxy for ranking results.
+    """
+
+    query: ConjunctiveQuery
+    path: tuple[SchemaMapping, ...] = field(default_factory=tuple)
+
+    @property
+    def hops(self) -> int:
+        """Number of mappings traversed."""
+        return len(self.path)
+
+    @property
+    def min_confidence(self) -> float:
+        """Weakest link confidence (1.0 for the original query)."""
+        if not self.path:
+            return 1.0
+        return min(m.confidence for m in self.path)
+
+    @property
+    def target_schemas(self) -> set[str]:
+        """Schemas the reformulated query is posed against."""
+        return query_schemas(self.query)
+
+
+def plan_reformulations(
+    query: ConjunctiveQuery,
+    graph: MappingGraph,
+    max_hops: int = 6,
+    include_original: bool = True,
+) -> list[Reformulation]:
+    """Enumerate reachable reformulations of ``query``, BFS order.
+
+    Each *distinct* reformulated query is reported once, with the
+    shortest (first-found) mapping path that produces it.  Cycles in
+    the mapping graph are harmless: revisiting a schema can only
+    reproduce a query already seen, which is dropped by the dedup set.
+
+    >>> # with an empty graph only the original query is planned
+    >>> from repro.rdf.parser import parse_search_for
+    >>> q = parse_search_for("SearchFor(x? : (x?, A#p, v))")
+    >>> [r.hops for r in plan_reformulations(q, MappingGraph())]
+    [0]
+    """
+    original = Reformulation(query, ())
+    seen: set[ConjunctiveQuery] = {query}
+    frontier: list[Reformulation] = [original]
+    planned: list[Reformulation] = [original] if include_original else []
+    hops = 0
+    while frontier and hops < max_hops:
+        next_frontier: list[Reformulation] = []
+        for current in frontier:
+            for schema in sorted(current.target_schemas):
+                for mapping in graph.outgoing(schema):
+                    translated = translate_query(current.query, mapping)
+                    if translated is None or translated in seen:
+                        continue
+                    seen.add(translated)
+                    reformulation = Reformulation(
+                        translated, current.path + (mapping,)
+                    )
+                    next_frontier.append(reformulation)
+                    planned.append(reformulation)
+        frontier = next_frontier
+        hops += 1
+    return planned

@@ -1,0 +1,12 @@
+"""User-defined schemas shared at the mediation layer.
+
+"GridVine supports the sharing of user-defined schemas to structure the
+data shared at the mediation layer.  For the sake of this
+demonstration, schemas are composed of sets of attributes that are used
+as predicates in the triples.  Each schema is associated with a unique
+key at the overlay layer" (§2.2).
+"""
+
+from repro.schema.model import Schema
+
+__all__ = ["Schema"]

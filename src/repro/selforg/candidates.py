@@ -1,0 +1,69 @@
+"""Candidate schema-pair selection for automatic mapping creation.
+
+§4: "We take advantage of shared references to the same protein
+sequence to select pairs of candidate schemas."  Two schemas that
+describe many of the same entities (same accession numbers appearing
+as object values) are good mapping candidates: their attribute value
+sets will overlap, giving the extensional matcher signal to work with.
+
+The selector ranks unordered schema pairs by the number of shared
+reference values, skipping pairs already joined by an active mapping
+(in either direction) — creating a parallel mapping there would not
+improve connectivity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.mapping.graph import MappingGraph
+
+#: per-schema reference sets: schema name -> set of reference values
+ReferenceSets = Mapping[str, set[str]]
+
+
+def shared_reference_count(refs_a: set[str], refs_b: set[str]) -> int:
+    """How many references two schemas have in common."""
+    return len(refs_a & refs_b)
+
+
+def rank_candidate_pairs(
+    references: ReferenceSets,
+    graph: MappingGraph | None = None,
+    min_shared: int = 1,
+) -> list[tuple[str, str, int]]:
+    """Rank schema pairs by shared references, best first.
+
+    Parameters
+    ----------
+    references:
+        Reference value sets per schema (typically the accession
+        numbers observed among the schema's triple objects).
+    graph:
+        Current mapping graph; pairs already connected by an active
+        mapping in either direction are skipped.
+    min_shared:
+        Minimum number of shared references for a pair to qualify.
+
+    Returns ``(schema_a, schema_b, shared_count)`` triples sorted by
+    descending count then names.
+    """
+    connected: set[frozenset[str]] = set()
+    if graph is not None:
+        for mapping in graph.mappings():
+            connected.add(frozenset(
+                (mapping.source_schema, mapping.target_schema)
+            ))
+    schemas = sorted(references)
+    ranked: list[tuple[str, str, int]] = []
+    for i, schema_a in enumerate(schemas):
+        for schema_b in schemas[i + 1:]:
+            if frozenset((schema_a, schema_b)) in connected:
+                continue
+            shared = shared_reference_count(
+                references[schema_a], references[schema_b]
+            )
+            if shared >= min_shared:
+                ranked.append((schema_a, schema_b, shared))
+    ranked.sort(key=lambda t: (-t[2], t[0], t[1]))
+    return ranked

@@ -1,0 +1,44 @@
+"""Discrete-event network simulator (the paper's *Internet layer*).
+
+The original demonstration ran on several hundred physical machines;
+this package substitutes a deterministic discrete-event simulation.
+Every peer is a logical :class:`~repro.simnet.network.Node` attached to
+a :class:`~repro.simnet.network.SimNetwork`; message deliveries are
+events whose delays are drawn from a pluggable latency model.
+
+Design notes
+------------
+* **Virtual time.**  The clock only advances when events fire; all
+  latencies reported by benchmarks are simulated seconds.
+* **Determinism.**  All randomness flows from one ``random.Random``
+  seed; ties in the event queue break on a monotonically increasing
+  sequence number, so runs are exactly reproducible.
+* **Futures.**  Multi-hop operations (e.g. a P-Grid ``Retrieve``)
+  return a :class:`~repro.simnet.events.Future`; callers use
+  ``loop.run_until_complete(future)`` to obtain a synchronous API on
+  top of the asynchronous message exchange.
+"""
+
+from repro.simnet.events import EventLoop, Future, SimulationError
+from repro.simnet.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalWANLatency,
+    UniformLatency,
+)
+from repro.simnet.network import Message, Node, SimNetwork
+from repro.simnet.metrics import NetworkMetrics
+
+__all__ = [
+    "EventLoop",
+    "Future",
+    "SimulationError",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalWANLatency",
+    "Message",
+    "Node",
+    "SimNetwork",
+    "NetworkMetrics",
+]

@@ -1,0 +1,82 @@
+"""Churn process: random peer failures and recoveries over time.
+
+P-Grid's Retrieve/Update "provide probabilistic guarantees for data
+consistency and are efficient even in highly unreliable, dynamic
+environments" (§2.1).  The churn process lets benchmarks exercise this:
+it toggles nodes offline for exponentially distributed outages at an
+exponentially distributed rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simnet.network import SimNetwork
+
+
+class ChurnProcess:
+    """Drives crash/recover events on a :class:`SimNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The network whose nodes will churn.
+    mean_uptime:
+        Mean seconds a node stays online before failing.
+    mean_downtime:
+        Mean seconds a node stays offline before recovering.
+    rng:
+        Randomness source.
+    protected:
+        Node ids never taken offline (e.g. the measurement client).
+    """
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        mean_uptime: float = 300.0,
+        mean_downtime: float = 30.0,
+        rng: random.Random | None = None,
+        protected: set[str] | None = None,
+    ) -> None:
+        if mean_uptime <= 0 or mean_downtime <= 0:
+            raise ValueError("mean uptime/downtime must be positive")
+        self.network = network
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.rng = rng if rng is not None else random.Random(0)
+        self.protected = protected or set()
+        self.failures = 0
+        self.recoveries = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Schedule the first failure for every unprotected node."""
+        self._running = True
+        for node_id in self.network.node_ids():
+            if node_id not in self.protected:
+                self._schedule_failure(node_id)
+
+    def stop(self) -> None:
+        """Stop generating new churn events (in-flight ones still fire)."""
+        self._running = False
+
+    def _schedule_failure(self, node_id: str) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_uptime)
+        self.network.loop.schedule(delay, self._fail, node_id)
+
+    def _fail(self, node_id: str) -> None:
+        if not self._running or node_id not in self.network:
+            return
+        self.network.set_online(node_id, False)
+        self.failures += 1
+        delay = self.rng.expovariate(1.0 / self.mean_downtime)
+        self.network.loop.schedule(delay, self._recover, node_id)
+
+    def _recover(self, node_id: str) -> None:
+        if node_id not in self.network:
+            return
+        self.network.set_online(node_id, True)
+        self.recoveries += 1
+        if self._running:
+            self._schedule_failure(node_id)

@@ -1,0 +1,201 @@
+"""Event loop and futures for the discrete-event simulation.
+
+A minimal, deterministic scheduler: events are ``(time, seq, callback)``
+entries in a binary heap.  The ``seq`` tiebreaker makes same-time
+events fire in scheduling order, which keeps whole simulations
+reproducible bit-for-bit under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse or when a simulation cannot progress."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time: float, seq: int) -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+
+class Future:
+    """A one-shot result container resolved by a later event.
+
+    Unlike asyncio futures there is no event-loop affinity or thread
+    safety — the simulation is single-threaded by construction.
+    """
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[[Future], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether a result or exception has been set."""
+        return self._done
+
+    def set_result(self, result: Any) -> None:
+        """Resolve the future; fires callbacks synchronously."""
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._result = result
+        self._fire_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the future with a failure."""
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._fire_callbacks()
+
+    def result(self) -> Any:
+        """The resolved value (raises the stored exception on failure)."""
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Call ``callback(self)`` on resolution (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+def gather(futures: list[Future]) -> Future:
+    """A future resolving to the list of results of ``futures``.
+
+    Resolves once every input is done; results keep input order.  Used
+    e.g. by triple insertion, which fans one mediation-layer update out
+    into three overlay updates.  An empty input resolves immediately.
+    """
+    combined: Future = Future()
+    remaining = len(futures)
+    if remaining == 0:
+        combined.set_result([])
+        return combined
+    results: list = [None] * remaining
+    state = {"left": remaining}
+
+    def _on_done(index: int, fut: Future) -> None:
+        results[index] = fut.result()
+        state["left"] -= 1
+        if state["left"] == 0:
+            combined.set_result(results)
+
+    for i, fut in enumerate(futures):
+        fut.add_done_callback(lambda f, i=i: _on_done(i, f))
+    return combined
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler.
+
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.schedule(2.0, fired.append, "b")
+    >>> _ = loop.schedule(1.0, fired.append, "a")
+    >>> loop.run_until_idle()
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._queue: list[tuple[float, int, EventHandle, Callable, tuple]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far (for diagnostics)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        handle = EventHandle(time, next(self._seq))
+        heapq.heappush(self._queue, (time, handle.seq, handle, callback, args))
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self._now), callback, *args)
+
+    def _pop_and_fire(self) -> None:
+        time, _seq, handle, callback, args = heapq.heappop(self._queue)
+        if handle.cancelled:
+            return
+        self._now = time
+        self._events_processed += 1
+        callback(*args)
+
+    def run_until_idle(self, max_events: int | None = None) -> None:
+        """Fire events until the queue drains (or ``max_events`` fire)."""
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events"
+                )
+            self._pop_and_fire()
+            fired += 1
+
+    def run_until(self, time: float) -> None:
+        """Fire all events scheduled strictly up to virtual time ``time``."""
+        while self._queue and self._queue[0][0] <= time:
+            self._pop_and_fire()
+        self._now = max(self._now, time)
+
+    def run_until_complete(self, future: Future, max_events: int = 10_000_000) -> Any:
+        """Drive the loop until ``future`` resolves; return its result.
+
+        Raises :class:`SimulationError` if the queue drains without the
+        future resolving — that indicates a lost message or a protocol
+        bug, and failing loudly beats hanging.
+        """
+        fired = 0
+        while not future.done:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained but future is unresolved"
+                )
+            if fired >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            self._pop_and_fire()
+            fired += 1
+        return future.result()

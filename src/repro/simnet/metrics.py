@@ -1,0 +1,62 @@
+"""Counters and traces collected by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate statistics over all messages sent through a network.
+
+    ``messages_by_kind`` groups counts by the message's ``kind`` tag so
+    benchmarks can separate routing traffic from maintenance traffic.
+    """
+
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    total_latency: float = 0.0
+    #: result values carried by reply messages — a proxy for data
+    #: volume on the wire (bound vs parallel joins trade messages for
+    #: shipped tuples; see bench E12)
+    values_shipped: int = 0
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, kind: str, latency: float,
+                    values_count: int = 0) -> None:
+        """Account for one delivered message."""
+        self.messages_sent += 1
+        self.total_latency += latency
+        self.values_shipped += values_count
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+
+    def record_drop(self, kind: str) -> None:
+        """Account for one message dropped (offline destination)."""
+        self.messages_dropped += 1
+        key = f"dropped:{kind}"
+        self.messages_by_kind[key] = self.messages_by_kind.get(key, 0) + 1
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-message delivery latency in seconds (0.0 if none)."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_latency / self.messages_sent
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for bench reporting."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "mean_latency": self.mean_latency,
+            "values_shipped": self.values_shipped,
+            "messages_by_kind": dict(self.messages_by_kind),
+        }
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. after a warm-up phase)."""
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.total_latency = 0.0
+        self.values_shipped = 0
+        self.messages_by_kind.clear()

@@ -1,0 +1,167 @@
+"""Simulated message-passing network connecting logical nodes.
+
+:class:`SimNetwork` is the only channel through which peers may talk to
+each other; sending a message samples a latency from the configured
+model and schedules delivery on the event loop.  Offline destinations
+silently drop messages (senders are expected to use timeouts or replica
+retries, exactly as over a real WAN).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simnet.events import EventLoop, SimulationError
+from repro.simnet.latency import ConstantLatency, LatencyModel
+from repro.simnet.metrics import NetworkMetrics
+
+
+@dataclass
+class Message:
+    """One network message.
+
+    ``kind`` tags the protocol step (``"route"``, ``"reply"``, ...);
+    ``hops`` counts forwarding steps for the hop-count benchmarks; the
+    free-form ``payload`` dict carries protocol state.
+    """
+
+    kind: str
+    src: str
+    dst: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    hops: int = 0
+    sent_at: float = 0.0
+
+
+class Node:
+    """Base class for anything attached to a :class:`SimNetwork`.
+
+    Subclasses override :meth:`on_message`.  The node gets back-refs to
+    the network and loop when attached, which keeps construction order
+    flexible.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.network: "SimNetwork | None" = None
+        self.online = True
+
+    @property
+    def loop(self) -> EventLoop:
+        """The event loop of the attached network."""
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached")
+        return self.network.loop
+
+    def send(self, dst: str, kind: str, payload: dict | None = None,
+             hops: int = 0) -> None:
+        """Send a message through the attached network."""
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached")
+        self.network.send(Message(
+            kind=kind,
+            src=self.node_id,
+            dst=dst,
+            payload=payload or {},
+            hops=hops,
+        ))
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message (override in subclasses)."""
+        raise NotImplementedError
+
+
+class SimNetwork:
+    """The simulated Internet layer.
+
+    Parameters
+    ----------
+    loop:
+        Event loop carrying deliveries (a fresh one is created when
+        omitted).
+    latency:
+        Per-message delay model; defaults to a 50 ms constant.
+    rng:
+        Randomness source for latency sampling (seeded for
+        reproducibility).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop | None = None,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.loop = loop if loop is not None else EventLoop()
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.metrics = NetworkMetrics()
+        self._nodes: dict[str, Node] = {}
+
+    # -- membership ----------------------------------------------------
+
+    def attach(self, node: Node) -> None:
+        """Register a node under its ``node_id``."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id!r}")
+        node.network = self
+        self._nodes[node.node_id] = node
+
+    def detach(self, node_id: str) -> None:
+        """Remove a node permanently (e.g. simulated departure)."""
+        node = self._nodes.pop(node_id, None)
+        if node is not None:
+            node.network = None
+
+    def node(self, node_id: str) -> Node:
+        """Look up an attached node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node_ids(self) -> list[str]:
+        """Ids of all attached nodes (online or not)."""
+        return list(self._nodes)
+
+    def is_online(self, node_id: str) -> bool:
+        """Whether the node exists and is currently online."""
+        node = self._nodes.get(node_id)
+        return node is not None and node.online
+
+    def set_online(self, node_id: str, online: bool) -> None:
+        """Toggle a node's availability (simulated crash / recovery)."""
+        self.node(node_id).online = online
+
+    # -- transport -----------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Sample a latency and schedule delivery of ``message``.
+
+        Messages to unknown or offline destinations are dropped; the
+        drop is recorded so protocols under test can be audited for
+        relying on silent success.
+        """
+        message.sent_at = self.loop.now
+        dst_node = self._nodes.get(message.dst)
+        if dst_node is None or not dst_node.online:
+            self.metrics.record_drop(message.kind)
+            return
+        delay = self.latency.sample(message.src, message.dst, self.rng)
+        values = message.payload.get("values")
+        values_count = len(values) if isinstance(values, (list, set)) else 0
+        self.metrics.record_send(message.kind, delay, values_count)
+        self.loop.schedule(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None or not node.online:
+            # Destination went offline while the message was in flight.
+            self.metrics.record_drop(message.kind)
+            return
+        node.on_message(message)

@@ -1,0 +1,20 @@
+"""Local databases of the mediation layer.
+
+"Each peer p maintains a local database DB_p ... the physical schemas
+of the local databases can all be identical and consist of three
+attributes S_DB = (subject, predicate, object).  The local databases
+support three standard relational algebra operators: projection pi,
+selection sigma and (self) join" (§2.2).
+
+:class:`~repro.storage.relation.Relation` implements the generic
+relational layer (projection / selection / natural & theta joins);
+:class:`~repro.storage.triplestore.TripleStore` is the triple table
+with hash indexes on all three positions, and it answers triple
+patterns with exactly the paper's
+``pi_pos(x) sigma_pos(const)=const (DB)`` plan.
+"""
+
+from repro.storage.relation import Relation
+from repro.storage.triplestore import TripleStore
+
+__all__ = ["Relation", "TripleStore"]

@@ -1,0 +1,155 @@
+"""A small in-memory relational engine: π, σ and ⋈.
+
+Rows are tuples aligned with a tuple of column names.  Operators return
+new relations (value semantics); selections accept either an equality
+dict or an arbitrary row predicate.  Set semantics (duplicate
+elimination) follow the relational model; :meth:`Relation.project`
+deduplicates its output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+
+class Relation:
+    """An immutable relation (named columns + rows of equal arity).
+
+    >>> r = Relation(("a", "b"), [(1, 2), (3, 4)])
+    >>> r.select_eq(a=3).rows
+    ((3, 4),)
+    >>> r.project(["b"]).rows
+    ((2,), (4,))
+    """
+
+    __slots__ = ("columns", "rows", "_column_index")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[tuple]) -> None:
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names: {columns}")
+        materialized = tuple(tuple(row) for row in rows)
+        for row in materialized:
+            if len(row) != len(columns):
+                raise ValueError(
+                    f"row arity {len(row)} != schema arity {len(columns)}"
+                )
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(self, "rows", materialized)
+        object.__setattr__(
+            self, "_column_index", {c: i for i, c in enumerate(columns)}
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("Relation is immutable")
+
+    # -- accessors ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_position(self, column: str) -> int:
+        """Index of ``column`` in the schema (raises KeyError if absent)."""
+        return self._column_index[column]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as column-keyed dicts (testing convenience)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # -- unary operators --------------------------------------------------
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """π: keep only ``columns``, eliminating duplicate rows."""
+        indices = [self.column_position(c) for c in columns]
+        seen: set[tuple] = set()
+        out: list[tuple] = []
+        for row in self.rows:
+            projected = tuple(row[i] for i in indices)
+            if projected not in seen:
+                seen.add(projected)
+                out.append(projected)
+        return Relation(tuple(columns), out)
+
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Relation":
+        """σ with an arbitrary predicate over a column-keyed row view."""
+        kept = [
+            row for row in self.rows
+            if predicate(dict(zip(self.columns, row)))
+        ]
+        return Relation(self.columns, kept)
+
+    def select_eq(self, **equalities: Any) -> "Relation":
+        """σ with conjunctive equality conditions, e.g.
+        ``select_eq(predicate=uri, object=value)``."""
+        indices = [(self.column_position(c), v) for c, v in equalities.items()]
+        kept = [
+            row for row in self.rows
+            if all(row[i] == v for i, v in indices)
+        ]
+        return Relation(self.columns, kept)
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """ρ: rename columns (unmentioned columns keep their names)."""
+        new_columns = tuple(mapping.get(c, c) for c in self.columns)
+        return Relation(new_columns, self.rows)
+
+    def distinct(self) -> "Relation":
+        """Duplicate elimination."""
+        seen: set[tuple] = set()
+        out = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return Relation(self.columns, out)
+
+    # -- binary operators ---------------------------------------------------
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """⋈: hash join on all shared column names.
+
+        With no shared columns this degenerates to the cross product,
+        matching standard natural-join semantics.
+        """
+        shared = [c for c in self.columns if c in other.columns]
+        other_only = [c for c in other.columns if c not in shared]
+        result_columns = self.columns + tuple(other_only)
+        if not shared:
+            rows = [l + r for l in self.rows for r in other.rows]
+            return Relation(result_columns, rows)
+        left_keys = [self.column_position(c) for c in shared]
+        right_keys = [other.column_position(c) for c in shared]
+        right_rest = [other.column_position(c) for c in other_only]
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in right_keys)
+            buckets.setdefault(key, []).append(tuple(row[i] for i in right_rest))
+        rows = []
+        for row in self.rows:
+            key = tuple(row[i] for i in left_keys)
+            for rest in buckets.get(key, ()):
+                rows.append(row + rest)
+        return Relation(result_columns, rows)
+
+    def union(self, other: "Relation") -> "Relation":
+        """∪ with set semantics (schemas must match)."""
+        if self.columns != other.columns:
+            raise ValueError(
+                f"union schema mismatch: {self.columns} vs {other.columns}"
+            )
+        return Relation(self.columns, self.rows + other.rows).distinct()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (self.columns == other.columns
+                and sorted(map(repr, self.rows)) == sorted(map(repr, other.rows)))
+
+    def __repr__(self) -> str:
+        return f"Relation(columns={self.columns!r}, rows={len(self.rows)})"

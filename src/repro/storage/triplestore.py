@@ -1,0 +1,157 @@
+"""The per-peer triple database with three positional hash indexes.
+
+Triples are indexed on subject, predicate *and* object so that a
+constraint search on any position is an index probe, mirroring the
+three overlay-level keys each triple is published under.  Pattern
+evaluation follows the paper's local plan:
+
+    Results = pi_pos(x) sigma_pos(const)=const (DB_dest)
+
+i.e. probe the most selective available index, then filter remaining
+constants (including LIKE literals) and bind variables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.rdf.patterns import TriplePattern
+from repro.rdf.terms import GroundTerm, Literal, Variable, is_ground
+from repro.rdf.triples import ALL_POSITIONS, Position, Triple
+from repro.storage.relation import Relation
+
+
+class TripleStore:
+    """An in-memory triple table with per-position indexes.
+
+    >>> store = TripleStore()
+    >>> from repro.rdf.terms import URI, Literal
+    >>> store.add(Triple(URI("s"), URI("p"), Literal("o")))
+    True
+    >>> store.count()
+    1
+    """
+
+    def __init__(self) -> None:
+        self._triples: set[Triple] = set()
+        self._index: dict[Position, dict[GroundTerm, set[Triple]]] = {
+            pos: {} for pos in ALL_POSITIONS
+        }
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        for pos in ALL_POSITIONS:
+            self._index[pos].setdefault(triple.at(pos), set()).add(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number actually added."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete a triple; returns False if it was absent."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        for pos in ALL_POSITIONS:
+            bucket = self._index[pos].get(triple.at(pos))
+            if bucket is not None:
+                bucket.discard(triple)
+                if not bucket:
+                    del self._index[pos][triple.at(pos)]
+        return True
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._triples.clear()
+        for pos in ALL_POSITIONS:
+            self._index[pos].clear()
+
+    # -- lookups --------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of stored triples."""
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def all_triples(self) -> list[Triple]:
+        """All triples, sorted for deterministic output."""
+        return sorted(self._triples)
+
+    def by_position(self, position: Position, term: GroundTerm) -> set[Triple]:
+        """Index probe: triples whose ``position`` equals ``term``."""
+        return set(self._index[position].get(term, ()))
+
+    def distinct_values(self, position: Position) -> set[GroundTerm]:
+        """All distinct terms occurring at ``position``.
+
+        Used by the automatic matcher to collect the value set of a
+        predicate.
+        """
+        return set(self._index[position])
+
+    # -- pattern evaluation -----------------------------------------------
+
+    def _candidates(self, pattern: TriplePattern) -> Iterable[Triple]:
+        """Smallest index bucket among the pattern's exact constants."""
+        best: set[Triple] | None = None
+        for pos in ALL_POSITIONS:
+            term = pattern.at(pos)
+            if not is_ground(term):
+                continue
+            if isinstance(term, Literal) and (term.is_like_pattern
+                                              or term.is_prefix_pattern):
+                continue  # pattern literals cannot be probed exactly
+            bucket = self._index[pos].get(term, set())
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        return self._triples if best is None else best
+
+    def match(self, pattern: TriplePattern) -> list[dict[Variable, GroundTerm]]:
+        """All variable bindings of ``pattern`` against the store.
+
+        Patterns with no variables return ``[{}]`` when a matching
+        triple exists (boolean semantics) and ``[]`` otherwise.
+        """
+        results = []
+        for triple in self._candidates(pattern):
+            bindings = pattern.matches(triple)
+            if bindings is not None:
+                results.append(bindings)
+        if not pattern.variables():
+            return [{}] if results else []
+        # Deduplicate equal binding dicts (LIKE matches may repeat).
+        unique: dict[tuple, dict[Variable, GroundTerm]] = {}
+        for b in results:
+            key = tuple(sorted((v.value, repr(t)) for v, t in b.items()))
+            unique[key] = b
+        return list(unique.values())
+
+    def matching_triples(self, pattern: TriplePattern) -> list[Triple]:
+        """The triples (not bindings) satisfying ``pattern``."""
+        return sorted(
+            t for t in self._candidates(pattern)
+            if pattern.matches(t) is not None
+        )
+
+    # -- relational view ------------------------------------------------------
+
+    def as_relation(self) -> Relation:
+        """The triple table as a ``(subject, predicate, object)`` relation.
+
+        Materializes the paper's physical schema
+        ``S_DB = (subject, predicate, object)`` so the generic algebra
+        (π/σ/⋈) applies directly — conjunctive queries on one peer can
+        be answered as self joins of this relation.
+        """
+        return Relation(
+            ("subject", "predicate", "object"),
+            (t.as_tuple() for t in sorted(self._triples)),
+        )

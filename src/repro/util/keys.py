@@ -1,0 +1,206 @@
+"""Binary key-space primitives for the P-Grid overlay.
+
+P-Grid organizes peers in a virtual binary search trie over the key
+space ``{0, 1}*``.  A :class:`Key` is an immutable binary string; peer
+paths, data keys and routing prefixes are all keys.  The class wraps a
+plain ``str`` of ``'0'``/``'1'`` characters, which keeps keys hashable,
+ordered lexicographically (matching the trie order) and easy to debug.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Key:
+    """An immutable binary string in the P-Grid key space.
+
+    >>> k = Key("0110")
+    >>> k.bit(0), k.bit(3)
+    ('0', '0')
+    >>> k.prefix(2)
+    Key('01')
+    >>> Key("01").is_prefix_of(k)
+    True
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: str = "") -> None:
+        if any(b not in "01" for b in bits):
+            raise ValueError(f"key must be a binary string, got {bits!r}")
+        self._bits = bits
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "Key":
+        """Build a key of exactly ``width`` bits from an integer.
+
+        >>> Key.from_int(5, 4)
+        Key('0101')
+        """
+        if value < 0:
+            raise ValueError("key value must be non-negative")
+        if value >= (1 << width):
+            raise ValueError(f"{value} does not fit in {width} bits")
+        return cls(format(value, f"0{width}b")) if width else cls("")
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def bits(self) -> str:
+        """The raw ``'0'``/``'1'`` string."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bits)
+
+    def bit(self, i: int) -> str:
+        """The ``i``-th bit as ``'0'`` or ``'1'``."""
+        return self._bits[i]
+
+    def to_int(self) -> int:
+        """Integer value of the key (empty key is 0)."""
+        return int(self._bits, 2) if self._bits else 0
+
+    def as_fraction(self) -> float:
+        """Map the key to ``[0, 1)`` (the canonical trie embedding).
+
+        >>> Key("1").as_fraction()
+        0.5
+        """
+        if not self._bits:
+            return 0.0
+        return self.to_int() / (1 << len(self._bits))
+
+    # -- structure ----------------------------------------------------
+
+    def prefix(self, length: int) -> "Key":
+        """The first ``length`` bits as a new key."""
+        return Key(self._bits[:length])
+
+    def is_prefix_of(self, other: "Key") -> bool:
+        """Whether this key is a (non-strict) prefix of ``other``."""
+        return other._bits.startswith(self._bits)
+
+    def append(self, bit: str) -> "Key":
+        """A new key with one extra bit."""
+        if bit not in ("0", "1"):
+            raise ValueError(f"bit must be '0' or '1', got {bit!r}")
+        return Key(self._bits + bit)
+
+    def concat(self, other: "Key") -> "Key":
+        """Concatenation of two keys."""
+        return Key(self._bits + other._bits)
+
+    def flip(self, i: int) -> "Key":
+        """A new key with bit ``i`` flipped (used for routing tables)."""
+        flipped = "1" if self._bits[i] == "0" else "0"
+        return Key(self._bits[:i] + flipped + self._bits[i + 1:])
+
+    def sibling_prefix(self, level: int) -> "Key":
+        """The prefix of length ``level + 1`` with the last bit flipped.
+
+        In P-Grid, the level-``i`` routing entry of a peer with path
+        ``pi`` points into the subtree rooted at
+        ``pi[:i] + flip(pi[i])`` — exactly this key.
+        """
+        if level >= len(self._bits):
+            raise ValueError(f"level {level} out of range for {self!r}")
+        return self.prefix(level + 1).flip(level)
+
+    # -- dunder plumbing ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Key):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __lt__(self, other: "Key") -> bool:
+        return self._bits < other._bits
+
+    def __le__(self, other: "Key") -> bool:
+        return self._bits <= other._bits
+
+    def __gt__(self, other: "Key") -> bool:
+        return self._bits > other._bits
+
+    def __ge__(self, other: "Key") -> bool:
+        return self._bits >= other._bits
+
+    def __hash__(self) -> int:
+        return hash(("Key", self._bits))
+
+    def __repr__(self) -> str:
+        return f"Key({self._bits!r})"
+
+    def __str__(self) -> str:
+        return self._bits or "<root>"
+
+
+def covering_prefixes(low: Key, high: Key,
+                      max_length: int | None = None) -> list[Key]:
+    """Trie prefixes covering the key interval ``[low, high]``.
+
+    ``low`` and ``high`` must have equal width; the interval is
+    inclusive on both ends and interpreted over all keys of that width.
+    Without ``max_length`` the result is the canonical binary
+    decomposition: at most ``2 * width`` pairwise-disjoint prefixes
+    whose subtrees exactly cover the interval.  With ``max_length``,
+    decomposition stops at that depth and partially-overlapping
+    subtrees are included whole — the cover may then *over-approximate*
+    the interval (callers filter the extra results), in exchange for a
+    bound of ``2 * max_length`` prefixes regardless of key width.
+
+    This is what turns an order-preserving-hash *range* into a handful
+    of prefix-routed subtree queries.
+
+    >>> [p.bits for p in covering_prefixes(Key("010"), Key("101"))]
+    ['01', '10']
+    """
+    if len(low) != len(high):
+        raise ValueError("interval endpoints must have equal width")
+    if low > high:
+        raise ValueError("empty interval (low > high)")
+    width = len(low)
+    result: list[Key] = []
+    stack: list[Key] = [Key("")]
+    while stack:
+        prefix = stack.pop()
+        # Subtree key range at full width.
+        sub_low = Key(prefix.bits + "0" * (width - len(prefix)))
+        sub_high = Key(prefix.bits + "1" * (width - len(prefix)))
+        if sub_high < low or sub_low > high:
+            continue  # disjoint
+        contained = low <= sub_low and sub_high <= high
+        if contained or (max_length is not None
+                         and len(prefix) >= max_length):
+            result.append(prefix)
+            continue
+        # Partial overlap: split (right child first so the list comes
+        # out in ascending key order).
+        stack.append(prefix.append("1"))
+        stack.append(prefix.append("0"))
+    return result
+
+
+def common_prefix_length(a: Key, b: Key) -> int:
+    """Length of the longest common prefix of two keys.
+
+    This is the trie depth at which the two keys' subtrees diverge;
+    prefix routing forwards a query to a reference whose common prefix
+    with the target key is strictly longer than the current peer's.
+
+    >>> common_prefix_length(Key("0011"), Key("0010"))
+    3
+    """
+    n = 0
+    for x, y in zip(a.bits, b.bits):
+        if x != y:
+            break
+        n += 1
+    return n

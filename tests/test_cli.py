@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.peers == 100
+        assert args.rounds == 8
+
+    def test_query_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "SearchFor(x? : (x?, A#p, %v%))",
+                 "--strategy", "telepathic"])
+
+
+class TestExperimentsCommand:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("E1", "E2", "E5", "E12"):
+            assert exp_id in out
+        assert "REPRO_BENCH_SCALE" in out
+
+
+class TestDemoCommand:
+    def test_demo_small_run(self, capsys):
+        code = main(["demo", "--peers", "24", "--schemas", "4",
+                     "--entities", "40", "--rounds", "3", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "before self-organization" in out
+        assert "after:" in out
+
+
+class TestQueryCommand:
+    def test_parse_error_exit_code(self, capsys):
+        code = main(["query", "SELECT 1", "--peers", "8",
+                     "--schemas", "3", "--entities", "20"])
+        assert code == 2
+        assert "does not parse" in capsys.readouterr().err
+
+    def test_query_against_corpus(self, capsys):
+        # discover a real predicate of the generated corpus first
+        from repro.datagen import BioDatasetGenerator
+        dataset = BioDatasetGenerator(
+            num_schemas=4, num_entities=40, entities_per_schema=8,
+            seed=7).generate()
+        schema = dataset.schemas[0]
+        organism_attr = dataset.concept_attribute(schema.name, "organism")
+        query = (f"SearchFor(x? : (x?, {schema.name}#{organism_attr}, "
+                 f"%a%))")
+        code = main(["query", query, "--peers", "24", "--schemas", "4",
+                     "--entities", "40", "--rounds", "2", "--seed", "7",
+                     "--limit", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results  :" in out
+        assert "latency  :" in out
+
+    def test_zero_results_prints_hint(self, capsys):
+        code = main(["query",
+                     "SearchFor(x? : (x?, Nowhere#nothing, %zz%))",
+                     "--peers", "16", "--schemas", "3",
+                     "--entities", "20", "--rounds", "1"])
+        assert code == 0
+        assert "hint" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Determinism guarantees: identical seeds yield identical simulations.
+
+Reproducibility is a design requirement (DESIGN.md §6): every
+experiment must be re-runnable bit-for-bit.  These tests rebuild whole
+deployments twice from the same seed and compare observable state and
+measurements exactly.
+"""
+
+from repro.datagen import BioDatasetGenerator, QueryWorkloadGenerator
+from repro.mediation.network import GridVineNetwork
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.schema.model import Schema
+from repro.simnet.latency import LogNormalWANLatency
+
+
+def build_and_run(seed):
+    """A small end-to-end run; returns all observables."""
+    net = GridVineNetwork.build(num_peers=24, seed=seed, replication=2,
+                                latency=LogNormalWANLatency())
+    embl = Schema("EMBL", ["Organism"], domain="d")
+    emp = Schema("EMP", ["SystematicName"], domain="d")
+    net.insert_schema(embl)
+    net.insert_schema(emp)
+    net.insert_triples([
+        Triple(URI(f"EMBL:{i}"), URI("EMBL#Organism"),
+               Literal(f"Aspergillus {i}"))
+        for i in range(10)
+    ] + [
+        Triple(URI("EMP:9"), URI("EMP#SystematicName"),
+               Literal("Aspergillus 9")),
+    ])
+    net.create_mapping(embl, emp, [("Organism", "SystematicName")],
+                       origin=net.peer_ids()[0])
+    net.settle()
+    outcomes = []
+    for strategy in ("local", "iterative", "recursive"):
+        out = net.search_for(
+            "SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))",
+            strategy=strategy, origin=net.peer_ids()[1])
+        outcomes.append((strategy, out.result_count, round(out.latency, 9),
+                         out.messages))
+    return {
+        "paths": sorted((n, p.path.bits) for n, p in net.peers.items()),
+        "loads": sorted(p.storage_load() for p in net.peers.values()),
+        "outcomes": outcomes,
+        "metrics": net.metrics_snapshot(),
+        "now": round(net.loop.now, 9),
+    }
+
+
+class TestSimulationDeterminism:
+    def test_identical_seeds_identical_runs(self):
+        assert build_and_run(42) == build_and_run(42)
+
+    def test_different_seeds_differ(self):
+        a = build_and_run(42)
+        b = build_and_run(43)
+        # topology or timings must differ somewhere
+        assert a != b
+
+
+class TestDatagenDeterminism:
+    def test_dataset_bitwise_stable(self):
+        kwargs = dict(num_schemas=6, num_entities=50,
+                      entities_per_schema=12, seed=9)
+        a = BioDatasetGenerator(**kwargs).generate()
+        b = BioDatasetGenerator(**kwargs).generate()
+        assert a.triples == b.triples
+        assert a.attribute_concepts == b.attribute_concepts
+        assert [e.values for e in a.entities] == [
+            e.values for e in b.entities]
+
+    def test_workload_stable(self):
+        dataset = BioDatasetGenerator(
+            num_schemas=4, num_entities=30, entities_per_schema=10,
+            seed=2).generate()
+        a = QueryWorkloadGenerator(dataset, seed=7).queries(30)
+        b = QueryWorkloadGenerator(dataset, seed=7).queries(30)
+        assert a == b
+
+
+class TestSelfOrganizationDeterminism:
+    def test_controller_rounds_stable(self):
+        from repro.selforg import CreationPolicy, SelfOrganizationController
+
+        def run():
+            dataset = BioDatasetGenerator(
+                num_schemas=6, num_entities=50, entities_per_schema=15,
+                seed=4).generate()
+            net = GridVineNetwork.build(num_peers=20, seed=4)
+            for schema in dataset.schemas:
+                net.insert_schema(schema)
+            net.insert_triples(dataset.triples)
+            net.insert_mapping(dataset.ground_truth_mapping(
+                dataset.schemas[0].name, dataset.schemas[1].name))
+            net.settle()
+            controller = SelfOrganizationController(
+                net, domain=dataset.domain,
+                policy=CreationPolicy(mappings_per_round=2))
+            reports = controller.run(max_rounds=5)
+            return [
+                (r.round_index, round(r.ci_before, 12),
+                 round(r.ci_after, 12), tuple(r.created),
+                 tuple(r.deprecated))
+                for r in reports
+            ]
+
+        assert run() == run()

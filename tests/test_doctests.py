@@ -1,0 +1,29 @@
+"""Execute every doctest in the library's docstrings.
+
+Docstring examples are part of the public documentation; running them
+keeps them truthful as the code evolves.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = []
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"

@@ -1,0 +1,138 @@
+"""Integration scenarios crossing all layers of the system."""
+
+import random
+
+import pytest
+
+from repro.mediation.network import GridVineNetwork
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.schema.model import Schema
+from repro.simnet.churn import ChurnProcess
+from repro.simnet.latency import LogNormalWANLatency
+
+
+class TestDemonstrationStoryline:
+    """§4 compressed: insert, fragment, organize, deprecate, recover."""
+
+    def test_full_storyline(self):
+        from repro.datagen import BioDatasetGenerator, QueryWorkloadGenerator
+        from repro.selforg import (
+            CreationPolicy,
+            SelfOrganizationController,
+        )
+        dataset = BioDatasetGenerator(
+            num_schemas=6, num_entities=60, entities_per_schema=20, seed=21,
+        ).generate()
+        net = GridVineNetwork.build(num_peers=24, seed=21)
+        for schema in dataset.schemas:
+            net.insert_schema(schema)
+        net.insert_triples(dataset.triples)
+        net.insert_mapping(
+            dataset.ground_truth_mapping(dataset.schemas[0].name,
+                                         dataset.schemas[1].name),
+            bidirectional=True,
+        )
+        net.settle()
+
+        workload = QueryWorkloadGenerator(dataset, seed=22)
+        query = workload.concept_query(dataset.schemas[0].name,
+                                       "organism", "Aspergillus")
+
+        # Sparse mapping network: low recall.
+        sparse = net.search_for(query, strategy="iterative", max_hops=8)
+
+        controller = SelfOrganizationController(
+            net, domain=dataset.domain,
+            policy=CreationPolicy(mappings_per_round=3),
+        )
+        reports = controller.run(max_rounds=10)
+        dense = net.search_for(query, strategy="iterative", max_hops=8)
+
+        assert reports[-1].ci_after >= 0
+        assert dense.result_count >= sparse.result_count
+        assert dense.result_count > 0
+
+        # Removing mappings re-fragments; the loop recreates them.
+        graph = net.mapping_graph(dataset.domain)
+        removable = [m for m in graph.mappings()
+                     if m.provenance == "auto"][:4]
+        for mapping in removable:
+            net.remove_mapping(mapping)
+        net.settle()
+        recovery = controller.run(max_rounds=10)
+        assert recovery[-1].ci_after >= 0
+
+
+class TestChurnDuringQueries:
+    def test_queries_survive_moderate_churn(self):
+        net = GridVineNetwork.build(num_peers=40, seed=31, replication=3,
+                                    timeout=5.0, max_retries=3)
+        schema = Schema("S", ["attr"], domain="churny")
+        net.insert_schema(schema)
+        triples = [
+            Triple(URI(f"S:e{i}"), URI("S#attr"), Literal(f"value-{i}"))
+            for i in range(30)
+        ]
+        net.insert_triples(triples)
+        net.settle()
+        churn = ChurnProcess(net.network, mean_uptime=200.0,
+                             mean_downtime=20.0, rng=random.Random(31))
+        churn.start()
+        answered = 0
+        for i in range(30):
+            out = net.search_for(
+                f'SearchFor(x? : (x?, S#attr, "value-{i}"))',
+                strategy="local")
+            if out.result_count == 1:
+                answered += 1
+        churn.stop()
+        assert answered >= 25  # probabilistic guarantees, not absolutes
+
+
+class TestWanLatencyProfile:
+    def test_latency_distribution_shape(self):
+        """Sanity-check the E2 machinery at reduced scale: a heavy
+        tail exists but most queries answer quickly."""
+        net = GridVineNetwork.build(
+            num_peers=60, seed=41, replication=2,
+            latency=LogNormalWANLatency(),
+        )
+        schema = Schema("S", ["attr"], domain="wan")
+        net.insert_schema(schema)
+        net.insert_triples([
+            Triple(URI(f"S:e{i}"), URI("S#attr"), Literal(f"v{i}"))
+            for i in range(40)
+        ])
+        net.settle()
+        latencies = []
+        for i in range(60):
+            out = net.search_for(
+                f'SearchFor(x? : (x?, S#attr, "v{i % 40}"))',
+                strategy="local")
+            latencies.append(out.latency)
+        fast = sum(1 for lat in latencies if lat <= 1.0) / len(latencies)
+        slow = sum(1 for lat in latencies if lat > 5.0) / len(latencies)
+        assert fast >= 0.25       # a decent share answers fast
+        assert slow <= 0.5        # but the tail is fat, not dominant
+
+
+class TestMessageComplexity:
+    @pytest.mark.parametrize("num_peers", [16, 64])
+    def test_route_hops_grow_logarithmically(self, num_peers):
+        net = GridVineNetwork.build(num_peers=num_peers, seed=51)
+        schema = Schema("S", ["attr"], domain="hops")
+        net.insert_schema(schema)
+        net.insert_triples([
+            Triple(URI(f"S:e{i}"), URI("S#attr"), Literal(f"v{i}"))
+            for i in range(20)
+        ])
+        net.settle()
+        max_depth = max(len(p.path) for p in net.peers.values())
+        # Constant-latency model: per-query latency / 0.05 bounds the
+        # total number of sequential hops (route chain + reply).
+        for i in range(20):
+            out = net.search_for(
+                f'SearchFor(x? : (x?, S#attr, "v{i}"))', strategy="local")
+            hops = out.latency / 0.05
+            assert hops <= max_depth + 2

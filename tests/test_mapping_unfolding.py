@@ -1,0 +1,104 @@
+"""Tests for view unfolding (query translation through mappings)."""
+
+from repro.mapping.model import (
+    MappingKind,
+    PredicateCorrespondence,
+    SchemaMapping,
+)
+from repro.mapping.unfolding import (
+    query_schemas,
+    translate_pattern,
+    translate_query,
+)
+from repro.rdf.parser import parse_search_for
+from repro.rdf.patterns import TriplePattern
+from repro.rdf.terms import Literal, URI, Variable
+
+X = Variable("x")
+
+EMBL_TO_EMP = SchemaMapping(
+    "m", "EMBL", "EMP",
+    [PredicateCorrespondence(URI("EMBL#Organism"),
+                             URI("EMP#SystematicName"))],
+)
+
+
+class TestTranslatePattern:
+    def test_figure2_rewrite(self):
+        pattern = TriplePattern(X, URI("EMBL#Organism"),
+                                Literal("%Aspergillus%"))
+        out = translate_pattern(pattern, EMBL_TO_EMP)
+        assert out == TriplePattern(X, URI("EMP#SystematicName"),
+                                    Literal("%Aspergillus%"))
+
+    def test_foreign_schema_passes_through(self):
+        pattern = TriplePattern(X, URI("Other#p"), Literal("v"))
+        assert translate_pattern(pattern, EMBL_TO_EMP) == pattern
+
+    def test_unmapped_source_predicate_fails(self):
+        pattern = TriplePattern(X, URI("EMBL#SeqLength"), Literal("9"))
+        assert translate_pattern(pattern, EMBL_TO_EMP) is None
+
+    def test_variable_predicate_fails(self):
+        pattern = TriplePattern(X, Variable("p"), Literal("v"))
+        assert translate_pattern(pattern, EMBL_TO_EMP) is None
+
+
+class TestTranslateQuery:
+    def test_figure2_query(self):
+        q = parse_search_for(
+            "SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))")
+        out = translate_query(q, EMBL_TO_EMP)
+        assert out == parse_search_for(
+            "SearchFor(x? : (x?, EMP#SystematicName, %Aspergillus%))")
+
+    def test_deprecated_mapping_refused(self):
+        q = parse_search_for("SearchFor(x? : (x?, EMBL#Organism, %A%))")
+        assert translate_query(q, EMBL_TO_EMP.with_deprecated(True)) is None
+
+    def test_no_op_translation_rejected(self):
+        q = parse_search_for("SearchFor(x? : (x?, Other#p, %A%))")
+        assert translate_query(q, EMBL_TO_EMP) is None
+
+    def test_partial_translation_rejected(self):
+        # One pattern maps, the other (same schema) does not: refuse.
+        q = parse_search_for(
+            "SearchFor(x? : (x?, EMBL#Organism, %A%) "
+            "AND (x?, EMBL#SeqLength, y?))")
+        assert translate_query(q, EMBL_TO_EMP) is None
+
+    def test_multi_schema_query_translates_relevant_patterns(self):
+        q = parse_search_for(
+            "SearchFor(x? : (x?, EMBL#Organism, %A%) "
+            "AND (x?, Other#p, y?))")
+        out = translate_query(q, EMBL_TO_EMP)
+        assert out is not None
+        assert out.patterns[0].predicate == URI("EMP#SystematicName")
+        assert out.patterns[1].predicate == URI("Other#p")
+
+    def test_distinguished_variables_preserved(self):
+        q = parse_search_for(
+            "SearchFor(x?, y? : (x?, EMBL#Organism, y?))")
+        out = translate_query(q, EMBL_TO_EMP)
+        assert out.distinguished == q.distinguished
+
+    def test_subsumption_translates_forward_only(self):
+        mapping = SchemaMapping(
+            "sub", "EMBL", "EMP",
+            [PredicateCorrespondence(URI("EMBL#Organism"),
+                                     URI("EMP#SystematicName"),
+                                     kind=MappingKind.SUBSUMPTION)],
+        )
+        q = parse_search_for("SearchFor(x? : (x?, EMBL#Organism, %A%))")
+        assert translate_query(q, mapping) is not None
+
+
+class TestQuerySchemas:
+    def test_single(self):
+        q = parse_search_for("SearchFor(x? : (x?, EMBL#Organism, %A%))")
+        assert query_schemas(q) == {"EMBL"}
+
+    def test_multiple(self):
+        q = parse_search_for(
+            "SearchFor(x? : (x?, A#p, %v%) AND (x?, B#q, y?))")
+        assert query_schemas(q) == {"A", "B"}

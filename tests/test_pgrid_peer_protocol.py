@@ -1,0 +1,179 @@
+"""Protocol-level unit tests for PGridPeer internals."""
+
+import pytest
+
+from repro.pgrid.overlay import PGridOverlay
+from repro.pgrid.peer import PGridPeer
+from repro.simnet.network import Message, SimNetwork
+from repro.util.hashing import uniform_hash
+from repro.util.keys import Key
+
+
+class TestLocalStore:
+    def make_peer(self):
+        peer = PGridPeer("p", Key("0"))
+        network = SimNetwork()
+        network.attach(peer)
+        return peer
+
+    def test_insert_retrieve_remove_cycle(self):
+        peer = self.make_peer()
+        key = Key("0101")
+        peer.local_insert(key, "a")
+        peer.local_insert(key, "b")
+        assert peer.local_retrieve(key) == ["a", "b"]
+        assert peer.local_remove(key, "a") == 1
+        assert peer.local_retrieve(key) == ["b"]
+        assert peer.local_remove(key, "zz") == 0
+
+    def test_remove_all_equal_copies(self):
+        peer = self.make_peer()
+        key = Key("0101")
+        peer.local_insert(key, "x")
+        peer.local_insert(key, "x")
+        assert peer.local_remove(key, "x") == 2
+        assert peer.local_retrieve(key) == []
+
+    def test_empty_bucket_cleaned_up(self):
+        peer = self.make_peer()
+        key = Key("0101")
+        peer.local_insert(key, "x")
+        peer.local_remove(key, "x")
+        assert key.bits not in peer.store
+
+    def test_local_merge_dedupes(self):
+        peer = self.make_peer()
+        key = Key("0101")
+        assert peer.local_merge(key, "v") is True
+        assert peer.local_merge(key, "v") is False
+        assert peer.local_retrieve(key) == ["v"]
+
+    def test_local_retrieve_prefix(self):
+        peer = self.make_peer()
+        peer.local_insert(Key("0101"), "a")
+        peer.local_insert(Key("0110"), "b")
+        peer.local_insert(Key("0011"), "c")
+        assert sorted(peer.local_retrieve_prefix(Key("01"))) == ["a", "b"]
+
+    def test_storage_load(self):
+        peer = self.make_peer()
+        peer.local_insert(Key("01"), "a")
+        peer.local_insert(Key("01"), "b")
+        peer.local_insert(Key("00"), "c")
+        assert peer.storage_load() == 3
+
+    def test_responsibility(self):
+        peer = self.make_peer()
+        assert peer.is_responsible_for(Key("0111"))
+        assert not peer.is_responsible_for(Key("1000"))
+
+
+class TestMessageHandling:
+    def test_unknown_kind_raises(self):
+        peer = PGridPeer("p", Key("0"))
+        network = SimNetwork()
+        network.attach(peer)
+        with pytest.raises(ValueError):
+            peer.on_message(Message(kind="gossip", src="q", dst="p"))
+
+    def test_unknown_op_raises(self):
+        peer = PGridPeer("p", Key("0"))
+        with pytest.raises(ValueError):
+            peer._execute_op("mystery", Key("01"), None)
+
+    def test_probe_is_acked(self):
+        network = SimNetwork()
+        a = PGridPeer("a", Key("0"))
+        b = PGridPeer("b", Key("1"))
+        network.attach(a)
+        network.attach(b)
+        a._probe_pending["t1"] = (0, "b")
+        a.send("b", "probe", {"token": "t1"})
+        network.loop.run_until_idle()
+        assert "t1" not in a._probe_pending  # ack cleared it
+
+    def test_replicate_applies_without_reply(self):
+        network = SimNetwork()
+        a = PGridPeer("a", Key("0"))
+        b = PGridPeer("b", Key("0"))
+        network.attach(a)
+        network.attach(b)
+        a.send("b", "replicate", {"op": "insert", "key": "0101",
+                                  "value": "v"})
+        network.loop.run_until_idle()
+        assert b.local_retrieve(Key("0101")) == ["v"]
+        assert network.metrics.messages_by_kind.get("reply", 0) == 0
+
+    def test_hop_ttl_drops_runaway_routes(self):
+        network = SimNetwork()
+        a = PGridPeer("a", Key("0"))
+        network.attach(a)
+        runaway = Message(kind="route", src="x", dst="a",
+                          payload={"op": "retrieve", "op_id": "z",
+                                   "key": "1" * 8, "origin": "x"},
+                          hops=100)
+        a.on_message(runaway)  # must not answer or forward
+        network.loop.run_until_idle()
+        assert network.metrics.messages_sent == 0
+
+
+class TestOpResults:
+    def test_failure_reports_attempts_and_latency(self):
+        overlay = PGridOverlay.build(8, seed=20, timeout=2.0,
+                                     max_retries=2)
+        key = uniform_hash("dead-key")
+        origin = overlay.peer_ids()[0]
+        owners = overlay.responsible_peers(key)
+        if origin in owners:
+            pytest.skip("origin owns the key")
+        for owner in owners:
+            overlay.network.set_online(owner, False)
+        result = overlay.retrieve_sync(origin, key)
+        assert not result.success
+        assert result.attempts == 3  # 1 try + 2 retries
+        assert result.latency == pytest.approx(3 * 2.0, rel=0.01)
+
+    def test_success_latency_matches_clock(self):
+        overlay = PGridOverlay.build(8, seed=21)
+        origin = overlay.peer_ids()[0]
+        key = uniform_hash("timed")
+        before = overlay.loop.now
+        result = overlay.update_sync(origin, key, "v")
+        assert result.success
+        assert result.latency == pytest.approx(
+            overlay.loop.now - before)
+
+    def test_late_duplicate_reply_ignored(self):
+        # A reply for an op that already completed must be a no-op.
+        overlay = PGridOverlay.build(4, seed=22)
+        origin = overlay.peer(overlay.peer_ids()[0])
+        origin._complete({"op_id": "stale-op", "values": [],
+                          "hops": 1})  # no pending entry: ignored
+
+
+class TestBlacklistInRouting:
+    def test_blacklisted_ref_avoided_when_alternative_exists(self):
+        peer = PGridPeer("p", Key("0"))
+        network = SimNetwork()
+        network.attach(peer)
+        peer.routing_table = [["good", "bad"]]
+        peer.ref_blacklist["bad"] = 1_000.0  # far future
+        picks = {peer._pick_reference(0) for _ in range(20)}
+        assert picks == {"good"}
+
+    def test_blacklist_expires(self):
+        peer = PGridPeer("p", Key("0"))
+        network = SimNetwork()
+        network.attach(peer)
+        peer.routing_table = [["only"]]
+        peer.ref_blacklist["only"] = 0.0  # already expired at t=0
+        assert peer._pick_reference(0) == "only"
+
+    def test_all_blacklisted_falls_back_to_blind_pick(self):
+        peer = PGridPeer("p", Key("0"))
+        network = SimNetwork()
+        network.attach(peer)
+        peer.routing_table = [["a", "b"]]
+        peer.ref_blacklist["a"] = 1_000.0
+        peer.ref_blacklist["b"] = 1_000.0
+        assert peer._pick_reference(0) in {"a", "b"}

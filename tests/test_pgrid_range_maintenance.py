@@ -1,0 +1,291 @@
+"""Tests for overlay range queries and the maintenance process."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgrid.maintenance import MaintenanceProcess
+from repro.pgrid.overlay import PGridOverlay
+from repro.util.hashing import order_preserving_hash, prefix_interval
+from repro.util.keys import Key, covering_prefixes
+
+
+class TestCoveringPrefixes:
+    def test_full_space(self):
+        covers = covering_prefixes(Key("000"), Key("111"))
+        assert covers == [Key("")]
+
+    def test_known_decomposition(self):
+        covers = covering_prefixes(Key("010"), Key("101"))
+        assert [c.bits for c in covers] == ["01", "10"]
+
+    def test_single_key(self):
+        covers = covering_prefixes(Key("011"), Key("011"))
+        assert covers == [Key("011")]
+
+    def test_rejects_mismatched_widths(self):
+        with pytest.raises(ValueError):
+            covering_prefixes(Key("0"), Key("11"))
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            covering_prefixes(Key("10"), Key("01"))
+
+    def test_max_length_over_approximates(self):
+        covers = covering_prefixes(Key("0101"), Key("0110"), max_length=2)
+        # coarsened cover must still contain the whole interval
+        for key_int in range(int("0101", 2), int("0110", 2) + 1):
+            key = Key.from_int(key_int, 4)
+            assert any(c.is_prefix_of(key) for c in covers)
+        assert all(len(c) <= 2 for c in covers)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_exact_cover_property(self, a, b):
+        low, high = min(a, b), max(a, b)
+        covers = covering_prefixes(Key.from_int(low, 8),
+                                   Key.from_int(high, 8))
+        # disjoint
+        for i, x in enumerate(covers):
+            for y in covers[i + 1:]:
+                assert not x.is_prefix_of(y) and not y.is_prefix_of(x)
+        # exact: a key is covered iff it lies in [low, high]
+        for value in range(256):
+            key = Key.from_int(value, 8)
+            covered = any(c.is_prefix_of(key) for c in covers)
+            assert covered == (low <= value <= high)
+
+    def test_prefix_interval_contains_extensions(self):
+        low, high = prefix_interval("Asp")
+        for word in ("Asp", "Aspergillus", "Aspz", "Asp zzz"):
+            assert low <= order_preserving_hash(word) <= high
+        # strings clearly outside the prefix fall outside the interval
+        # ("Asq" itself shares the quantized boundary key — see the
+        # prefix_interval docstring — so test from "Asr" up)
+        for word in ("Asr", "Aso", "B", "Asozzz"):
+            h = order_preserving_hash(word)
+            assert not (low <= h <= high)
+
+
+class TestRangeQuery:
+    def _populate(self, overlay, words):
+        origin = overlay.peer_ids()[0]
+        for word in words:
+            overlay.update_sync(origin, order_preserving_hash(word), word)
+        overlay.loop.run_until_idle()
+
+    def test_range_spanning_many_peers(self):
+        overlay = PGridOverlay.build(32, seed=5)
+        words = [f"item-{i:03d}" for i in range(40)] + ["zebra", "aardvark"]
+        self._populate(overlay, words)
+        low, high = prefix_interval("item-")
+        origin = overlay.peer(overlay.peer_ids()[0])
+        results = []
+        for cover in covering_prefixes(low, high, max_length=16):
+            result = overlay.loop.run_until_complete(
+                origin.range_query(cover))
+            assert result.success
+            results.extend(result.values)
+        matching = [v for v in results if str(v).startswith("item-")]
+        assert sorted(set(matching)) == sorted(
+            w for w in words if w.startswith("item-"))
+
+    def test_range_on_empty_region(self):
+        overlay = PGridOverlay.build(16, seed=6)
+        self._populate(overlay, ["only-entry"])
+        origin = overlay.peer(overlay.peer_ids()[0])
+        low, high = prefix_interval("zzz")
+        for cover in covering_prefixes(low, high, max_length=12):
+            result = overlay.loop.run_until_complete(
+                origin.range_query(cover))
+            assert result.success
+            assert result.values == []
+
+    def test_whole_keyspace_range_returns_everything(self):
+        overlay = PGridOverlay.build(16, seed=7)
+        words = [f"w{i}" for i in range(25)]
+        self._populate(overlay, words)
+        origin = overlay.peer(overlay.peer_ids()[0])
+        result = overlay.loop.run_until_complete(
+            origin.range_query(Key("")))
+        assert result.success
+        assert sorted(set(result.values)) == sorted(words)
+
+    def test_range_with_replication_no_duplicates_per_leaf(self):
+        overlay = PGridOverlay.build(24, replication=3, seed=8)
+        words = [f"r{i}" for i in range(15)]
+        self._populate(overlay, words)
+        origin = overlay.peer(overlay.peer_ids()[0])
+        result = overlay.loop.run_until_complete(
+            origin.range_query(Key("")))
+        assert result.success
+        # the shower visits each subtree once: one replica answers per
+        # leaf, so values appear exactly once
+        assert sorted(result.values) == sorted(words)
+
+    def test_range_timeout_reports_partial(self):
+        overlay = PGridOverlay.build(16, seed=9, timeout=3.0)
+        words = [f"t{i}" for i in range(10)]
+        self._populate(overlay, words)
+        # kill half the network: some subtrees are unreachable
+        for node_id in overlay.peer_ids()[::2]:
+            overlay.network.set_online(node_id, False)
+        origin_id = next(n for n in overlay.peer_ids()
+                         if overlay.network.is_online(n))
+        origin = overlay.peer(origin_id)
+        result = overlay.loop.run_until_complete(
+            origin.range_query(Key(""), timeout=30.0))
+        assert not result.success  # incomplete coverage admitted
+
+
+class TestMaintenance:
+    def test_dead_refs_dropped_and_replaced(self):
+        overlay = PGridOverlay.build(16, replication=2, seed=10)
+        peers = overlay.peers
+        maintenance = MaintenanceProcess(peers, interval=10.0,
+                                         probe_timeout=2.0,
+                                         rng=random.Random(10))
+        # kill one peer; someone references it
+        victim = overlay.peer_ids()[3]
+        overlay.network.set_online(victim, False)
+        referencing = [
+            p for p in peers.values()
+            if any(victim in refs for refs in p.routing_table)
+            and p.node_id != victim
+        ]
+        assert referencing
+        maintenance.start()
+        overlay.loop.run_until(300.0)
+        maintenance.stop()
+        for peer in referencing:
+            for refs in peer.routing_table:
+                assert victim not in refs
+        dropped = sum(p.maintenance_stats["refs_dropped"]
+                      for p in peers.values())
+        assert dropped >= 1
+
+    def test_routing_still_works_after_churn_with_maintenance(self):
+        overlay = PGridOverlay.build(24, replication=3, seed=11,
+                                     timeout=4.0, max_retries=3)
+        from repro.util.hashing import uniform_hash
+        origin = overlay.peer_ids()[0]
+        keys = [uniform_hash(f"k{i}") for i in range(15)]
+        for i, key in enumerate(keys):
+            overlay.update_sync(origin, key, i)
+        overlay.loop.run_until_idle()
+        maintenance = MaintenanceProcess(overlay.peers, interval=20.0,
+                                         probe_timeout=3.0,
+                                         rng=random.Random(11))
+        maintenance.start()
+        # permanently fail a third of the network (not the origin)
+        for node_id in overlay.peer_ids()[1::3]:
+            overlay.network.set_online(node_id, False)
+        overlay.loop.run_until(overlay.loop.now + 400.0)
+        successes = sum(
+            1 for key in keys
+            if overlay.retrieve_sync(origin, key).success
+        )
+        maintenance.stop()
+        assert successes >= 13
+
+    def test_anti_entropy_repairs_stale_replica(self):
+        overlay = PGridOverlay.build(8, replication=2, seed=12)
+        from repro.util.hashing import uniform_hash
+        origin = overlay.peer_ids()[0]
+        key = uniform_hash("repair-me")
+        owners = overlay.responsible_peers(key)
+        assert len(owners) == 2
+        # one replica sleeps through the insert
+        overlay.network.set_online(owners[1], False)
+        overlay.update_sync(origin, key, "payload")
+        overlay.loop.run_until_idle()
+        assert overlay.peer(owners[1]).local_retrieve(key) == []
+        overlay.network.set_online(owners[1], True)
+        maintenance = MaintenanceProcess(overlay.peers, interval=15.0,
+                                         rng=random.Random(12))
+        maintenance.start()
+        overlay.loop.run_until(overlay.loop.now + 200.0)
+        maintenance.stop()
+        assert overlay.peer(owners[1]).local_retrieve(key) == ["payload"]
+
+    def test_sync_push_is_idempotent(self):
+        overlay = PGridOverlay.build(8, replication=2, seed=13)
+        from repro.util.hashing import uniform_hash
+        origin = overlay.peer_ids()[0]
+        key = uniform_hash("idem")
+        overlay.update_sync(origin, key, "v")
+        overlay.loop.run_until_idle()
+        owners = overlay.responsible_peers(key)
+        maintenance = MaintenanceProcess(overlay.peers, interval=5.0,
+                                         rng=random.Random(13))
+        maintenance.start()
+        overlay.loop.run_until(overlay.loop.now + 300.0)
+        maintenance.stop()
+        for owner in owners:
+            assert overlay.peer(owner).local_retrieve(key) == ["v"]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MaintenanceProcess({}, interval=0.0)
+
+
+class TestPrefixPatternQueries:
+    def test_prefix_literal_detection(self):
+        from repro.rdf.terms import Literal
+        assert Literal("Asp%").is_prefix_pattern
+        assert not Literal("%Asp%").is_prefix_pattern
+        assert not Literal("Asp").is_prefix_pattern
+        assert Literal("Asp%").prefix_needle == "Asp"
+
+    def test_prefix_routing_mode(self):
+        from repro.rdf.patterns import TriplePattern
+        from repro.rdf.terms import Literal, URI, Variable
+        exact = TriplePattern(Variable("x"), URI("S#p"), Literal("Asp%"))
+        assert exact.routing_mode() == "exact"  # predicate wins
+        only_prefix = TriplePattern(Variable("x"), Variable("p"),
+                                    Literal("Asp%"))
+        assert only_prefix.routing_mode() == "prefix"
+
+    def test_mediation_prefix_search(self):
+        from repro import GridVineNetwork, Literal, Schema, Triple, URI
+        from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+        from repro.rdf.terms import Variable
+        net = GridVineNetwork.build(num_peers=32, seed=14)
+        schema = Schema("S", ["org"], domain="x")
+        net.insert_schema(schema)
+        net.insert_triples([
+            Triple(URI("S:1"), URI("S#org"), Literal("Aspergillus niger")),
+            Triple(URI("S:2"), URI("S#org"), Literal("Aspergillus oryzae")),
+            Triple(URI("S:3"), URI("S#org"), Literal("Saccharomyces")),
+        ])
+        net.settle()
+        x = Variable("x")
+        query = ConjunctiveQuery(
+            [TriplePattern(x, Variable("p"), Literal("Aspergillus%"))], [x])
+        out = net.search_for(query, strategy="local")
+        assert {str(r[0]) for r in out.results} == {"<S:1>", "<S:2>"}
+
+    def test_prefix_and_exact_agree(self):
+        from repro import GridVineNetwork, Literal, Schema, Triple, URI
+        from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+        from repro.rdf.terms import Variable
+        net = GridVineNetwork.build(num_peers=24, seed=15)
+        schema = Schema("S", ["org"], domain="x")
+        net.insert_schema(schema)
+        triples = [
+            Triple(URI(f"S:{i}"), URI("S#org"),
+                   Literal(f"Aspergillus strain {i}"))
+            for i in range(10)
+        ]
+        net.insert_triples(triples)
+        net.settle()
+        x = Variable("x")
+        via_predicate = net.search_for(ConjunctiveQuery(
+            [TriplePattern(x, URI("S#org"), Literal("Aspergillus%"))],
+            [x]), strategy="local")
+        via_range = net.search_for(ConjunctiveQuery(
+            [TriplePattern(x, Variable("p"), Literal("Aspergillus%"))],
+            [x]), strategy="local")
+        assert via_predicate.results == via_range.results

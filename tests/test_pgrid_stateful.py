@@ -1,0 +1,158 @@
+"""Stateful property test: the overlay against a model key-value store.
+
+A hypothesis rule-based state machine drives a live P-Grid overlay
+through arbitrary interleavings of inserts, removes, retrieves, range
+queries, peer joins and graceful leaves, checking every observable
+result against a plain in-memory model.  This is the strongest single
+correctness artifact for the overlay: any divergence between protocol
+and model (lost values, duplicated range answers, stale replica
+hand-offs) fails the machine with a minimized command sequence.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import settings
+
+from repro.pgrid.membership import MembershipError
+from repro.pgrid.overlay import PGridOverlay
+from repro.util.hashing import order_preserving_hash
+from repro.util.keys import Key
+
+#: a small closed key vocabulary so removes and re-inserts collide
+WORDS = [f"word-{i:02d}" for i in range(12)]
+VALUES = list(range(6))
+
+
+class OverlayMachine(RuleBasedStateMachine):
+    """Protocol-vs-model equivalence under arbitrary command mixes."""
+
+    def __init__(self):
+        super().__init__()
+        self.overlay = None
+        self.model: dict[str, list] = {}
+        self.join_counter = 0
+
+    @initialize(num_peers=st.integers(3, 10),
+                replication=st.integers(1, 3),
+                seed=st.integers(0, 10_000))
+    def setup(self, num_peers, replication, seed):
+        import random as _random
+        from repro.pgrid.maintenance import MaintenanceProcess
+        self.overlay = PGridOverlay.build(
+            num_peers, replication=replication, seed=seed)
+        self.model = {}
+        # repair keeps routing tables usable across joins and leaves
+        self.maintenance = MaintenanceProcess(
+            self.overlay.peers, interval=8.0, probe_timeout=2.0,
+            rng=_random.Random(seed))
+        self.maintenance.start()
+
+    def _let_repair_run(self, duration=60.0):
+        self.overlay.loop.run_until(self.overlay.loop.now + duration)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _origin(self):
+        return self.overlay.peer_ids()[0]
+
+    def _key(self, word):
+        return order_preserving_hash(word)
+
+    # -- rules -----------------------------------------------------------
+
+    @rule(word=st.sampled_from(WORDS), value=st.sampled_from(VALUES))
+    def insert(self, word, value):
+        result = self.overlay.update_sync(self._origin(),
+                                          self._key(word), value)
+        assert result.success
+        self.model.setdefault(word, []).append(value)
+        # a bounded step lets replication land (run_until_idle would
+        # never return: maintenance keeps the queue populated forever)
+        self._let_repair_run(5.0)
+
+    @rule(word=st.sampled_from(WORDS), value=st.sampled_from(VALUES))
+    def remove(self, word, value):
+        result = self.overlay.update_sync(
+            self._origin(), self._key(word), value, action="remove")
+        assert result.success
+        bucket = self.model.get(word)
+        if bucket is not None:
+            self.model[word] = [v for v in bucket if v != value]
+            if not self.model[word]:
+                del self.model[word]
+        self._let_repair_run(5.0)
+
+    @rule(word=st.sampled_from(WORDS))
+    def retrieve(self, word):
+        result = self.overlay.retrieve_sync(self._origin(),
+                                            self._key(word))
+        assert result.success
+        assert sorted(result.values) == sorted(self.model.get(word, []))
+
+    @rule()
+    def range_everything(self):
+        origin = self.overlay.peer(self._origin())
+        result = self.overlay.loop.run_until_complete(
+            origin.range_query(Key("")))
+        assert result.success
+        expected = sorted(
+            v for values in self.model.values() for v in values)
+        assert sorted(result.values) == expected
+
+    @rule(seed=st.integers(0, 100))
+    def join(self, seed):
+        self.join_counter += 1
+        self.overlay.join(f"joiner-{self.join_counter}", seed=seed)
+        self._let_repair_run(30.0)
+
+    @precondition(lambda self: self.overlay is not None
+                  and len(self.overlay.peers) > 3)
+    @rule()
+    def leave(self):
+        # leave any peer that has a replica and is not the test origin
+        for node_id in self.overlay.peer_ids()[1:]:
+            peer = self.overlay.peer(node_id)
+            if peer.replicas:
+                try:
+                    self.overlay.leave(node_id)
+                except MembershipError:
+                    continue
+                self._let_repair_run()
+                return
+
+    def teardown(self):
+        if getattr(self, "maintenance", None) is not None:
+            self.maintenance.stop()
+        super().teardown()
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def key_space_remains_covered(self):
+        if self.overlay is None:
+            return
+        paths = {peer.path for peer in self.overlay.peers.values()}
+        total = sum(2.0 ** -len(p) for p in paths)
+        assert abs(total - 1.0) < 1e-9
+
+    @invariant()
+    def replica_lists_are_symmetric(self):
+        if self.overlay is None:
+            return
+        for node_id, peer in self.overlay.peers.items():
+            for replica in peer.replicas:
+                other = self.overlay.peers.get(replica)
+                assert other is not None
+                assert node_id in other.replicas
+                assert other.path == peer.path
+
+
+OverlayMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None)
+TestOverlayStateful = OverlayMachine.TestCase

@@ -1,0 +1,98 @@
+"""Tests for the SearchFor query parser."""
+
+import pytest
+
+from repro.rdf.parser import ParseError, parse_search_for
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+from repro.rdf.terms import Literal, URI, Variable
+
+
+class TestSinglePattern:
+    def test_paper_example(self):
+        q = parse_search_for(
+            "SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))")
+        assert q.distinguished == (Variable("x"),)
+        pattern = q.patterns[0]
+        assert pattern.subject == Variable("x")
+        assert pattern.predicate == URI("EMBL#Organism")
+        assert pattern.object == Literal("%Aspergillus%")
+
+    def test_quoted_literal_object(self):
+        q = parse_search_for('SearchFor(x? : (x?, A#p, "a value"))')
+        assert q.patterns[0].object == Literal("a value")
+
+    def test_uri_object(self):
+        q = parse_search_for("SearchFor(x? : (x?, A#p, EMBL:A78712))")
+        assert q.patterns[0].object == URI("EMBL:A78712")
+
+    def test_subject_constant(self):
+        q = parse_search_for("SearchFor(o? : (EMBL:A78712, A#p, o?))")
+        assert q.patterns[0].subject == URI("EMBL:A78712")
+
+    def test_whitespace_insensitive(self):
+        q = parse_search_for(
+            "  SearchFor(  x?  :  ( x? , A#p , %v% )  )  ")
+        assert q.patterns[0].predicate == URI("A#p")
+
+    def test_round_trip_through_str(self):
+        q = parse_search_for('SearchFor(x? : (x?, A#p, "v"))')
+        assert parse_search_for(str(q)) == q
+
+
+class TestConjunctive:
+    def test_two_patterns(self):
+        q = parse_search_for(
+            "SearchFor(x?, y? : (x?, A#org, %Asp%) AND (x?, A#len, y?))")
+        assert len(q.patterns) == 2
+        assert q.distinguished == (Variable("x"), Variable("y"))
+
+    def test_shared_variable_preserved(self):
+        q = parse_search_for(
+            "SearchFor(x? : (x?, A#p, %v%) AND (x?, A#q, z?))")
+        assert q.patterns[0].subject == q.patterns[1].subject
+
+
+class TestErrors:
+    def test_not_a_query(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SELECT * FROM t")
+
+    def test_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SearchFor(x? (x?, p, o))")
+
+    def test_pattern_arity(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SearchFor(x? : (x?, p))")
+
+    def test_distinguished_must_be_variable(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SearchFor(A#p : (x?, A#p, o))")
+
+    def test_distinguished_must_appear_in_body(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SearchFor(w? : (x?, A#p, %v%))")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SearchFor(x? : ((x?, A#p, %v%))")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_search_for('SearchFor(x? : (x?, "p", o?))')
+
+    def test_empty_term(self):
+        with pytest.raises(ParseError):
+            parse_search_for("SearchFor(x? : (x?, , o?))")
+
+
+class TestEquivalenceWithManualConstruction:
+    def test_parse_equals_manual(self):
+        manual = ConjunctiveQuery(
+            [TriplePattern(Variable("x"), URI("EMBL#Organism"),
+                           Literal("%Aspergillus%"))],
+            [Variable("x")],
+        )
+        parsed = parse_search_for(
+            "SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))")
+        assert parsed == manual

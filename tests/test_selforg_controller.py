@@ -1,0 +1,76 @@
+"""Tests for the self-organization controller loop."""
+
+import pytest
+
+from repro.mediation.network import GridVineNetwork
+from repro.selforg.controller import SelfOrganizationController
+from repro.selforg.creator import CreationPolicy
+
+
+@pytest.fixture(scope="module")
+def deployed(request):
+    """A deployed network with the bio corpus and one seed mapping."""
+    from repro.datagen import BioDatasetGenerator
+    dataset = BioDatasetGenerator(
+        num_schemas=8, num_entities=80, entities_per_schema=25, seed=3,
+    ).generate()
+    net = GridVineNetwork.build(num_peers=32, seed=11)
+    for schema in dataset.schemas:
+        net.insert_schema(schema)
+    net.insert_triples(dataset.triples)
+    net.insert_mapping(
+        dataset.ground_truth_mapping(dataset.schemas[0].name,
+                                     dataset.schemas[1].name),
+        bidirectional=True,
+    )
+    net.settle()
+    return net, dataset
+
+
+class TestControllerLoop:
+    def test_loop_reaches_connectivity(self, deployed):
+        net, dataset = deployed
+        assert net.connectivity_indicator(dataset.domain) < 0
+        controller = SelfOrganizationController(
+            net, domain=dataset.domain,
+            policy=CreationPolicy(mappings_per_round=4),
+        )
+        reports = controller.run(max_rounds=10)
+        assert reports[-1].ci_after >= 0
+        assert any(report.created for report in reports)
+
+    def test_connected_round_creates_nothing(self, deployed):
+        net, dataset = deployed
+        controller = SelfOrganizationController(net, domain=dataset.domain)
+        # the previous test left the layer connected
+        report = controller.step()
+        assert report.ci_before >= 0
+        assert report.created == []
+
+    def test_created_mappings_visible_through_overlay(self, deployed):
+        net, dataset = deployed
+        graph = net.mapping_graph(dataset.domain)
+        autos = [m for m in graph.mappings() if m.provenance == "auto"]
+        assert autos
+        for mapping in autos:
+            assert mapping.confidence < 1.0
+
+    def test_round_report_shape(self, deployed):
+        net, dataset = deployed
+        controller = SelfOrganizationController(net, domain=dataset.domain)
+        report = controller.step()
+        assert report.schemas_seen == len(dataset.schemas)
+        assert set(report.posteriors) >= {
+            m.mapping_id
+            for m in net.mapping_graph(dataset.domain).mappings()}
+
+    def test_recall_improves_after_loop(self, deployed):
+        net, dataset = deployed
+        from repro.datagen import QueryWorkloadGenerator
+        workload = QueryWorkloadGenerator(dataset, seed=5)
+        query = workload.concept_query(dataset.schemas[0].name,
+                                       "organism", "Aspergillus")
+        local = net.search_for(query, strategy="local")
+        reformulated = net.search_for(query, strategy="iterative",
+                                      max_hops=8)
+        assert reformulated.result_count > local.result_count

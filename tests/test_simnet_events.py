@@ -1,0 +1,178 @@
+"""Tests for the discrete-event loop and futures."""
+
+import pytest
+
+from repro.simnet.events import EventLoop, Future, SimulationError, gather
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, fired.append, "b")
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(3.0, fired.append, "c")
+        loop.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("first", "second", "third"):
+            loop.schedule(1.0, fired.append, tag)
+        loop.run_until_idle()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.run_until_idle()
+        assert seen == [2.5]
+        assert loop.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        loop.run_until_idle()
+
+    def test_events_scheduled_during_run_fire(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: loop.schedule(1.0, fired.append, "n"))
+        loop.run_until_idle()
+        assert fired == ["n"]
+        assert loop.now == 2.0
+
+    def test_run_until_stops_at_time(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(5.0, fired.append, "b")
+        loop.run_until(2.0)
+        assert fired == ["a"]
+        assert loop.now == 2.0
+        loop.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(4.0, lambda: seen.append(loop.now))
+        loop.run_until_idle()
+        assert seen == [4.0]
+
+    def test_run_until_idle_event_budget(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(1.0, reschedule)
+
+        loop.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=100)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1.0, lambda: None)
+        loop.run_until_idle()
+        assert loop.events_processed == 5
+
+
+class TestFuture:
+    def test_result_before_resolution_raises(self):
+        with pytest.raises(SimulationError):
+            Future().result()
+
+    def test_set_result_and_read(self):
+        f = Future()
+        f.set_result(42)
+        assert f.done
+        assert f.result() == 42
+
+    def test_double_resolution_rejected(self):
+        f = Future()
+        f.set_result(1)
+        with pytest.raises(SimulationError):
+            f.set_result(2)
+
+    def test_exception_propagates(self):
+        f = Future()
+        f.set_exception(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            f.result()
+
+    def test_callback_after_resolution_fires_immediately(self):
+        f = Future()
+        f.set_result("x")
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.result()))
+        assert seen == ["x"]
+
+    def test_callback_before_resolution_fires_on_set(self):
+        f = Future()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.result()))
+        assert seen == []
+        f.set_result("y")
+        assert seen == ["y"]
+
+    def test_run_until_complete(self):
+        loop = EventLoop()
+        f = Future()
+        loop.schedule(3.0, f.set_result, "done")
+        assert loop.run_until_complete(f) == "done"
+        assert loop.now == 3.0
+
+    def test_run_until_complete_detects_starvation(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.run_until_complete(Future())
+
+
+class TestGather:
+    def test_empty_resolves_immediately(self):
+        g = gather([])
+        assert g.done
+        assert g.result() == []
+
+    def test_preserves_order(self):
+        f1, f2, f3 = Future(), Future(), Future()
+        g = gather([f1, f2, f3])
+        f2.set_result("b")
+        f3.set_result("c")
+        assert not g.done
+        f1.set_result("a")
+        assert g.result() == ["a", "b", "c"]
+
+    def test_with_already_resolved_inputs(self):
+        f1 = Future()
+        f1.set_result(1)
+        f2 = Future()
+        g = gather([f1, f2])
+        f2.set_result(2)
+        assert g.result() == [1, 2]
+
+    def test_nested_gather(self):
+        f1, f2 = Future(), Future()
+        inner = gather([f1])
+        outer = gather([inner, f2])
+        f1.set_result("i")
+        f2.set_result("o")
+        assert outer.result() == [["i"], "o"]

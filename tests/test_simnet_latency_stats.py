@@ -1,0 +1,85 @@
+"""Statistical sanity checks on the WAN latency model.
+
+The E2 reproduction leans on this model; these tests pin down the
+properties the calibration relies on, so silent regressions in the
+sampling logic (e.g. swapped parameters) fail loudly.
+"""
+
+import random
+import statistics
+
+from repro.simnet.latency import LogNormalWANLatency
+
+
+def samples(model, count, rng, distinct_pairs=True):
+    out = []
+    for i in range(count):
+        src = f"s{i}" if distinct_pairs else "s"
+        dst = f"d{i}" if distinct_pairs else "d"
+        out.append(model.sample(src, dst, rng))
+    return out
+
+
+class TestLogNormalShape:
+    def test_median_tracks_parameter(self):
+        rng = random.Random(1)
+        model = LogNormalWANLatency(median_ms=80.0, jitter_ms=0.0,
+                                    straggler_prob=0.0)
+        xs = samples(model, 3000, rng)
+        assert 0.06 <= statistics.median(xs) <= 0.105
+
+    def test_sigma_controls_spread(self):
+        rng1, rng2 = random.Random(2), random.Random(2)
+        narrow = LogNormalWANLatency(sigma=0.2, jitter_ms=0.0,
+                                     straggler_prob=0.0)
+        wide = LogNormalWANLatency(sigma=1.2, jitter_ms=0.0,
+                                   straggler_prob=0.0)
+        xs_narrow = samples(narrow, 2000, rng1)
+        xs_wide = samples(wide, 2000, rng2)
+        ratio_narrow = (sorted(xs_narrow)[1900] / sorted(xs_narrow)[100])
+        ratio_wide = (sorted(xs_wide)[1900] / sorted(xs_wide)[100])
+        assert ratio_wide > 3 * ratio_narrow
+
+    def test_jitter_adds_positive_noise_per_message(self):
+        rng = random.Random(3)
+        model = LogNormalWANLatency(jitter_ms=50.0, straggler_prob=0.0)
+        first = model.sample("a", "b", rng)
+        second = model.sample("a", "b", rng)
+        # same sticky base, different jitter draws
+        assert first != second
+
+    def test_straggler_fraction_matches_probability(self):
+        rng = random.Random(4)
+        model = LogNormalWANLatency(straggler_prob=0.3,
+                                    straggler_ms=10_000.0,
+                                    jitter_ms=0.0)
+        slow = 0
+        for i in range(1000):
+            # fresh destination each time: independent straggler draws
+            if model.sample("src", f"host-{i}", rng) > 1.0:
+                slow += 1
+        assert 230 <= slow <= 370
+
+    def test_straggler_status_sticky_per_host(self):
+        rng = random.Random(5)
+        model = LogNormalWANLatency(straggler_prob=0.5,
+                                    straggler_ms=50_000.0,
+                                    jitter_ms=0.0)
+        verdicts = set()
+        for _ in range(10):
+            verdicts.add(model.sample("a", "victim", rng) > 5.0)
+        assert len(verdicts) == 1  # always slow or always fast
+
+    def test_calibrated_e2_profile_anchors(self):
+        """The calibration constants used by bench E2 keep producing a
+        per-message distribution compatible with multi-hop totals in
+        the paper's 1 s / 5 s window."""
+        rng = random.Random(6)
+        model = LogNormalWANLatency(median_ms=100.0, sigma=0.9,
+                                    jitter_ms=10.0, straggler_prob=0.15,
+                                    straggler_ms=3000.0)
+        xs = samples(model, 4000, rng)
+        median = statistics.median(xs)
+        assert 0.07 <= median <= 0.16          # ~100 ms typical hop
+        tail = sum(1 for x in xs if x > 1.0) / len(xs)
+        assert 0.08 <= tail <= 0.25            # straggler tail exists

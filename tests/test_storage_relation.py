@@ -1,0 +1,144 @@
+"""Tests for the relational algebra engine (π, σ, ⋈, ∪, ρ)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.relation import Relation
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=20
+)
+
+
+class TestConstruction:
+    def test_empty_relation(self):
+        r = Relation(("a",), [])
+        assert len(r) == 0
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("a", "a"), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_immutable(self):
+        r = Relation(("a",), [(1,)])
+        with pytest.raises(AttributeError):
+            r.columns = ("b",)
+
+    def test_as_dicts(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.as_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestProject:
+    def test_keeps_order_of_requested_columns(self):
+        r = Relation(("a", "b", "c"), [(1, 2, 3)])
+        assert r.project(["c", "a"]).rows == ((3, 1),)
+
+    def test_eliminates_duplicates(self):
+        r = Relation(("a", "b"), [(1, 2), (1, 3)])
+        assert r.project(["a"]).rows == ((1,),)
+
+    def test_unknown_column_raises(self):
+        r = Relation(("a",), [])
+        with pytest.raises(KeyError):
+            r.project(["zz"])
+
+
+class TestSelect:
+    def test_select_eq_single(self):
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        assert r.select_eq(a=3).rows == ((3, 4),)
+
+    def test_select_eq_conjunction(self):
+        r = Relation(("a", "b"), [(1, 2), (1, 4)])
+        assert r.select_eq(a=1, b=4).rows == ((1, 4),)
+
+    def test_select_predicate(self):
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        assert r.select(lambda row: row["a"] + row["b"] > 5).rows == ((3, 4),)
+
+    def test_select_keeps_schema(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.select_eq(a=99).columns == ("a", "b")
+
+
+class TestRename:
+    def test_rename_subset(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        renamed = r.rename({"a": "x"})
+        assert renamed.columns == ("x", "b")
+        assert renamed.rows == r.rows
+
+
+class TestJoin:
+    def test_natural_join_on_shared_column(self):
+        left = Relation(("s", "p"), [("s1", "p1"), ("s2", "p1")])
+        right = Relation(("p", "o"), [("p1", "o1")])
+        joined = left.natural_join(right)
+        assert joined.columns == ("s", "p", "o")
+        assert sorted(joined.rows) == [("s1", "p1", "o1"),
+                                       ("s2", "p1", "o1")]
+
+    def test_join_no_shared_is_cross_product(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(3,)])
+        joined = left.natural_join(right)
+        assert sorted(joined.rows) == [(1, 3), (2, 3)]
+
+    def test_join_on_multiple_columns(self):
+        left = Relation(("a", "b", "x"), [(1, 2, "l")])
+        right = Relation(("a", "b", "y"), [(1, 2, "r"), (1, 9, "no")])
+        joined = left.natural_join(right)
+        assert joined.rows == ((1, 2, "l", "r"),)
+
+    def test_self_join_triple_table(self):
+        # The paper's conjunctive queries are self joins of the triple
+        # table: entries with both Organism and SeqLength attributes.
+        db = Relation(
+            ("subject", "predicate", "object"),
+            [("e1", "Organism", "Aspergillus"),
+             ("e1", "SeqLength", "120"),
+             ("e2", "Organism", "Yeast")],
+        )
+        organisms = db.select_eq(predicate="Organism").project(
+            ["subject", "object"]).rename({"object": "org"})
+        lengths = db.select_eq(predicate="SeqLength").project(
+            ["subject", "object"]).rename({"object": "len"})
+        joined = organisms.natural_join(lengths)
+        assert joined.rows == (("e1", "Aspergillus", "120"),)
+
+    @given(rows_strategy, rows_strategy)
+    def test_join_is_commutative_up_to_column_order(self, lrows, rrows):
+        left = Relation(("a", "b"), lrows)
+        right = Relation(("b", "c"), rrows)
+        lr = left.natural_join(right)
+        rl = right.natural_join(left)
+        assert sorted(lr.project(["a", "b", "c"]).rows) == sorted(
+            rl.project(["a", "b", "c"]).rows)
+
+
+class TestUnionDistinct:
+    def test_union_dedupes(self):
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("x",), [(2,), (3,)])
+        assert sorted(a.union(b).rows) == [(1,), (2,), (3,)]
+
+    def test_union_schema_mismatch_rejected(self):
+        a = Relation(("x",), [])
+        b = Relation(("y",), [])
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_distinct(self):
+        r = Relation(("x",), [(1,), (1,), (2,)])
+        assert sorted(r.distinct().rows) == [(1,), (2,)]
+
+    @given(rows_strategy)
+    def test_union_idempotent(self, rows):
+        r = Relation(("a", "b"), rows)
+        assert sorted(r.union(r).rows) == sorted(r.distinct().rows)

@@ -1,0 +1,174 @@
+"""Tests for the per-peer triple database."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf.patterns import TriplePattern
+from repro.rdf.terms import Literal, URI, Variable
+from repro.rdf.triples import Position, Triple
+from repro.storage.triplestore import TripleStore
+
+
+def t(s, p, o):
+    return Triple(URI(s), URI(p), Literal(o))
+
+
+def make_store(*triples):
+    store = TripleStore()
+    store.add_all(triples)
+    return store
+
+
+class TestMutation:
+    def test_add_and_count(self):
+        store = make_store(t("s", "p", "o"))
+        assert store.count() == 1
+        assert t("s", "p", "o") in store
+
+    def test_add_duplicate_is_noop(self):
+        store = TripleStore()
+        assert store.add(t("s", "p", "o")) is True
+        assert store.add(t("s", "p", "o")) is False
+        assert store.count() == 1
+
+    def test_remove(self):
+        store = make_store(t("s", "p", "o"))
+        assert store.remove(t("s", "p", "o")) is True
+        assert store.count() == 0
+        assert store.remove(t("s", "p", "o")) is False
+
+    def test_remove_cleans_indexes(self):
+        store = make_store(t("s", "p", "o"))
+        store.remove(t("s", "p", "o"))
+        assert store.by_position(Position.SUBJECT, URI("s")) == set()
+        assert store.distinct_values(Position.PREDICATE) == set()
+
+    def test_clear(self):
+        store = make_store(t("a", "b", "c"), t("d", "e", "f"))
+        store.clear()
+        assert store.count() == 0
+
+    def test_add_all_returns_inserted_count(self):
+        store = TripleStore()
+        n = store.add_all([t("a", "b", "c"), t("a", "b", "c"),
+                           t("d", "e", "f")])
+        assert n == 2
+
+
+class TestIndexes:
+    def test_by_position(self):
+        s = make_store(t("s1", "p", "o1"), t("s2", "p", "o2"))
+        assert len(s.by_position(Position.PREDICATE, URI("p"))) == 2
+        assert len(s.by_position(Position.SUBJECT, URI("s1"))) == 1
+        assert s.by_position(Position.OBJECT, Literal("o1")) == {
+            t("s1", "p", "o1")}
+
+    def test_distinct_values(self):
+        s = make_store(t("s1", "p", "o"), t("s2", "p", "o"))
+        assert s.distinct_values(Position.SUBJECT) == {URI("s1"), URI("s2")}
+        assert s.distinct_values(Position.OBJECT) == {Literal("o")}
+
+
+class TestMatch:
+    def test_all_variables_binds_everything(self):
+        s = make_store(t("s", "p", "o"))
+        bindings = s.match(TriplePattern(Variable("x"), Variable("y"),
+                                         Variable("z")))
+        assert bindings == [{Variable("x"): URI("s"),
+                             Variable("y"): URI("p"),
+                             Variable("z"): Literal("o")}]
+
+    def test_constant_probe(self):
+        s = make_store(t("s1", "p", "o1"), t("s2", "q", "o2"))
+        bindings = s.match(TriplePattern(Variable("x"), URI("p"),
+                                         Variable("y")))
+        assert bindings == [{Variable("x"): URI("s1"),
+                             Variable("y"): Literal("o1")}]
+
+    def test_like_pattern_matching(self):
+        s = make_store(t("s1", "p", "Aspergillus niger"),
+                       t("s2", "p", "Saccharomyces"))
+        bindings = s.match(TriplePattern(Variable("x"), URI("p"),
+                                         Literal("%Aspergillus%")))
+        assert [b[Variable("x")] for b in bindings] == [URI("s1")]
+
+    def test_boolean_query_semantics(self):
+        s = make_store(t("s", "p", "o"))
+        assert s.match(TriplePattern(URI("s"), URI("p"),
+                                     Literal("o"))) == [{}]
+        assert s.match(TriplePattern(URI("s"), URI("p"),
+                                     Literal("nope"))) == []
+
+    def test_repeated_variable_must_bind_consistently(self):
+        s = TripleStore()
+        s.add(Triple(URI("x"), URI("p"), URI("x")))
+        s.add(Triple(URI("x"), URI("p"), URI("y")))
+        x = Variable("v")
+        bindings = s.match(TriplePattern(x, URI("p"), x))
+        assert bindings == [{x: URI("x")}]
+
+    def test_matching_triples(self):
+        s = make_store(t("s1", "p", "o"), t("s2", "p", "o"),
+                       t("s3", "q", "o"))
+        found = s.matching_triples(TriplePattern(Variable("x"), URI("p"),
+                                                 Variable("y")))
+        assert len(found) == 2
+
+    def test_match_uses_most_selective_index(self):
+        # Functional check: results identical regardless of which
+        # constant is most selective.
+        s = make_store(*[t(f"s{i}", "common", "o") for i in range(20)],
+                       t("rare", "common", "o"))
+        pattern = TriplePattern(URI("rare"), URI("common"), Variable("z"))
+        assert s.match(pattern) == [{Variable("z"): Literal("o")}]
+
+
+class TestRelationalView:
+    def test_as_relation_shape(self):
+        s = make_store(t("s", "p", "o"))
+        rel = s.as_relation()
+        assert rel.columns == ("subject", "predicate", "object")
+        assert rel.rows == ((URI("s"), URI("p"), Literal("o")),)
+
+    def test_paper_local_plan(self):
+        # Results = pi_pos(x) sigma_pos(const)=const (DB)
+        s = make_store(t("e1", "EMBL#Organism", "Aspergillus niger"),
+                       t("e2", "EMBL#Organism", "Yeast"),
+                       t("e1", "EMBL#SeqLength", "120"))
+        rel = s.as_relation()
+        out = rel.select(
+            lambda row: (row["predicate"] == URI("EMBL#Organism")
+                         and "Aspergillus" in row["object"].value)
+        ).project(["subject"])
+        assert out.rows == ((URI("e1"),),)
+
+
+names = st.text(alphabet="abcdef", min_size=1, max_size=4)
+
+
+class TestStoreProperties:
+    @given(st.lists(st.tuples(names, names, names), max_size=30))
+    def test_count_matches_distinct_inserts(self, raw):
+        triples = [t(*row) for row in raw]
+        store = TripleStore()
+        store.add_all(triples)
+        assert store.count() == len(set(triples))
+
+    @given(st.lists(st.tuples(names, names, names), max_size=30))
+    def test_match_all_returns_everything(self, raw):
+        triples = {t(*row) for row in raw}
+        store = TripleStore()
+        store.add_all(triples)
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert len(store.match(pattern)) == len(triples)
+
+    @given(st.lists(st.tuples(names, names, names), min_size=1,
+                    max_size=30))
+    def test_add_remove_round_trip(self, raw):
+        triples = [t(*row) for row in raw]
+        store = TripleStore()
+        store.add_all(triples)
+        for triple in set(triples):
+            store.remove(triple)
+        assert store.count() == 0
+        assert store.as_relation().rows == ()
