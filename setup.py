@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Self-Organizing Schema Mappings in the "
         "GridVine Peer Data Management System' (VLDB 2007)"

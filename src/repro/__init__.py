@@ -22,6 +22,14 @@ GridVine Peer Data Management System* (Cudré-Mauroux et al., VLDB
     self-organizing loop (connectivity indicator, automatic mapping
     creation, Bayesian mapping deprecation).
 
+``repro.engine``
+    The *query engine* on top of the mediation layer: an
+    invalidation-aware cache of reformulation plans (keyed by
+    structural query signature and mapping-graph version) and a
+    batched multi-query executor that deduplicates shared triple-
+    pattern lookups across a batch — the hot-path optimisation for
+    repeated / multi-user query traffic.
+
 ``repro.datagen``
     Synthetic bioinformatic schemas, records and query workloads used
     by the examples and benchmarks (substituting the EBI/SRS data of
@@ -45,8 +53,9 @@ from repro.schema.model import Schema
 from repro.mapping.model import MappingKind, PredicateCorrespondence, SchemaMapping
 from repro.mediation.network import GridVineNetwork
 from repro.mediation.peer import GridVinePeer
+from repro.engine.core import QueryEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "URI",
@@ -62,5 +71,6 @@ __all__ = [
     "SchemaMapping",
     "GridVineNetwork",
     "GridVinePeer",
+    "QueryEngine",
     "__version__",
 ]

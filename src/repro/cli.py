@@ -11,8 +11,13 @@ booth:
     Deploy the bioinformatic corpus and run one ``SearchFor`` query
     under a chosen strategy, printing results and cost.
 
+``batch``
+    Run a repeated-query workload through the query engine
+    (:mod:`repro.engine`) and report plan-cache hit rate, pattern
+    deduplication and messages — the engine's execution statistics.
+
 ``experiments``
-    List the E1..E12 benchmark targets and how to run them.
+    List the E1..E13 benchmark targets and how to run them.
 """
 
 from __future__ import annotations
@@ -47,6 +52,8 @@ _EXPERIMENTS = [
     ("E11", "order-preserving range queries", "bench_e11_range_queries.py"),
     ("E12", "parallel vs bound conjunctive joins",
      "bench_e12_join_modes.py"),
+    ("E13", "plan-cache warm/cold + batched dedup",
+     "bench_e13_plan_cache.py"),
 ]
 
 
@@ -110,7 +117,11 @@ def cmd_query(args) -> int:
         net, domain=dataset.domain,
         policy=CreationPolicy(mappings_per_round=3))
     controller.run(max_rounds=args.rounds)
-    outcome = net.search_for(query, strategy=args.strategy, max_hops=8)
+    if args.strategy == "engine":
+        engine = net.create_engine(domain=dataset.domain, max_hops=8)
+        outcome = engine.search_for(query)
+    else:
+        outcome = net.search_for(query, strategy=args.strategy, max_hops=8)
     print(f"query    : {query}")
     print(f"strategy : {args.strategy}")
     print(f"results  : {outcome.result_count}")
@@ -131,6 +142,39 @@ def cmd_query(args) -> int:
               "randomized attribute names; try predicates like:")
         for predicate in sample:
             print(f"             {predicate}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    net, dataset = _deploy(args)
+    controller = SelfOrganizationController(
+        net, domain=dataset.domain,
+        policy=CreationPolicy(mappings_per_round=3))
+    controller.run(max_rounds=args.rounds)
+    engine = net.create_engine(domain=dataset.domain, max_hops=8)
+    workload = QueryWorkloadGenerator(dataset, seed=args.seed)
+    distinct = workload.queries(args.queries)
+    # Interleave repeats the way concurrent users would issue them.
+    batch = [q for _ in range(args.repeat) for q in distinct]
+    print(f"batch of {len(batch)} queries "
+          f"({args.queries} distinct x {args.repeat} repeats) "
+          f"on {args.peers} peers")
+    for label in ("cold", "warm"):
+        result = engine.execute_batch(batch)
+        answered = sum(1 for o in result.outcomes if o.result_count)
+        print(f"{label:<5}: {answered}/{len(batch)} queries answered, "
+              f"{result.patterns_total} pattern lookups -> "
+              f"{result.patterns_fetched} fetched "
+              f"({result.lookups_saved} saved by dedup), "
+              f"{result.messages} messages")
+    stats = engine.stats.snapshot()
+    print(f"plan cache: {stats['cache']['hits']} hits / "
+          f"{stats['cache']['lookups']} lookups "
+          f"(hit rate {stats['cache']['hit_rate']:.1%}), "
+          f"{stats['planner_invocations']} planner invocation(s)")
+    print(f"engine    : {stats['lookups_saved']} total lookups saved "
+          f"(dedup rate {stats['dedup_rate']:.1%}), "
+          f"{stats['messages']} messages")
     return 0
 
 
@@ -168,11 +212,26 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query", help='e.g. "SearchFor(x? : (x?, '
                                      'EMBL#Organism, %%Aspergillus%%))"')
     query.add_argument("--strategy", default="iterative",
-                       choices=["local", "iterative", "recursive"])
+                       choices=["local", "iterative", "recursive",
+                                "engine"],
+                       help="local: no reformulation; iterative: the "
+                            "origin reformulates; recursive: schema "
+                            "peers reformulate; engine: cached plans "
+                            "+ batched execution")
     query.add_argument("--limit", type=int, default=10,
                        help="max result rows to print")
     _add_deploy_args(query)
     query.set_defaults(func=cmd_query)
+
+    batch = sub.add_parser(
+        "batch", help="run a repeated-query workload through the "
+                      "query engine and report its statistics")
+    batch.add_argument("--queries", type=int, default=8,
+                       help="distinct queries in the workload")
+    batch.add_argument("--repeat", type=int, default=5,
+                       help="how many times each query recurs")
+    _add_deploy_args(batch)
+    batch.set_defaults(func=cmd_batch)
 
     experiments = sub.add_parser("experiments",
                                  help="list benchmark targets")

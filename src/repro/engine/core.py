@@ -1,0 +1,239 @@
+"""The query engine: cached planning + batched execution, one facade.
+
+:class:`QueryEngine` sits next to a live
+:class:`~repro.mediation.network.GridVineNetwork` and owns three
+pieces of state:
+
+* a **mapping-graph mirror** — a local
+  :class:`~repro.mapping.graph.MappingGraph` kept in sync with the
+  deployment through the mapping-event hooks every
+  :class:`~repro.mediation.peer.GridVinePeer` fires when a mapping is
+  inserted, removed or deprecated (the self-organization loop's
+  mutations flow through the same hooks);
+* a **version clock** (:class:`~repro.engine.versioning.
+  MappingVersionClock`) bumped by the same events; and
+* a **plan cache** (:class:`~repro.engine.cache.PlanCache`) of
+  reformulation plans, invalidated by the clock at schema granularity.
+
+``search_for`` / ``execute_batch`` then answer queries without ever
+re-fetching mapping records or re-running BFS planning for a query
+shape the engine has seen before, and a batch dedupes its overlay
+pattern lookups across all member queries.
+
+The mirror reflects *issued* operations immediately (the simulator's
+issuing order is deterministic), so a freshly inserted mapping is
+plannable even before the overlay records finish replicating.  An
+engine created after deployment data was already loaded must call
+:meth:`QueryEngine.sync_from_overlay` once to backfill the mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.cache import PlanCache, PlanCacheStats
+from repro.engine.executor import execute_batch
+from repro.engine.versioning import MappingVersionClock
+from repro.mapping.graph import MappingGraph
+from repro.mapping.model import SchemaMapping
+from repro.mediation.query import QueryOutcome
+from repro.rdf.parser import parse_search_for
+from repro.rdf.patterns import ConjunctiveQuery
+from repro.reformulation.planner import Reformulation, plan_reformulations
+from repro.util.stats import ratio
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.mediation.network import GridVineNetwork
+
+
+@dataclass
+class EngineStats:
+    """Lifetime execution statistics of one :class:`QueryEngine`."""
+
+    #: times the BFS planner actually ran (i.e. plan-cache misses)
+    planner_invocations: int = 0
+    queries_executed: int = 0
+    batches_executed: int = 0
+    #: pattern occurrences across all executed reformulations
+    patterns_total: int = 0
+    #: distinct patterns fetched after deduplication
+    patterns_fetched: int = 0
+    #: network messages attributed to engine execution
+    messages: int = 0
+    cache: PlanCacheStats = field(default_factory=PlanCacheStats)
+
+    @property
+    def lookups_saved(self) -> int:
+        """Overlay pattern lookups avoided by batching."""
+        return self.patterns_total - self.patterns_fetched
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of pattern occurrences served by a shared lookup."""
+        return ratio(self.lookups_saved, self.patterns_total)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for CLI and bench reporting."""
+        return {
+            "planner_invocations": self.planner_invocations,
+            "queries_executed": self.queries_executed,
+            "batches_executed": self.batches_executed,
+            "patterns_total": self.patterns_total,
+            "patterns_fetched": self.patterns_fetched,
+            "lookups_saved": self.lookups_saved,
+            "dedup_rate": self.dedup_rate,
+            "messages": self.messages,
+            "cache": self.cache.snapshot(),
+        }
+
+
+@dataclass
+class BatchResult:
+    """Outcomes of one :meth:`QueryEngine.execute_batch` call."""
+
+    outcomes: list[QueryOutcome]
+    #: distinct patterns fetched for this batch
+    patterns_fetched: int
+    #: pattern occurrences this batch would have fetched unbatched
+    patterns_total: int
+    #: network messages measured for this batch
+    messages: int
+
+    @property
+    def lookups_saved(self) -> int:
+        """Overlay lookups this batch avoided through deduplication."""
+        return self.patterns_total - self.patterns_fetched
+
+
+class QueryEngine:
+    """Reformulation-plan caching and batched execution for a network.
+
+    Parameters
+    ----------
+    network:
+        The deployment to execute against.
+    domain:
+        When given, the mirror graph is immediately backfilled from
+        the overlay (``sync_from_overlay``); otherwise the mirror
+        starts empty and fills up from mapping events only.
+    max_hops:
+        Default BFS depth for reformulation planning (mirrors
+        ``GridVineNetwork.search_for``).
+    cache_capacity:
+        Plan-cache size; ``0`` disables caching (cold baseline).
+    """
+
+    def __init__(self, network: "GridVineNetwork",
+                 domain: str | None = None,
+                 max_hops: int = 5,
+                 cache_capacity: int = 256) -> None:
+        self.network = network
+        self.max_hops = max_hops
+        self.clock = MappingVersionClock()
+        self.cache = PlanCache(self.clock, capacity=cache_capacity)
+        self.graph = MappingGraph()
+        self.stats = EngineStats(cache=self.cache.stats)
+        network.add_mapping_listener(self._on_mapping_event)
+        if domain is not None:
+            self.sync_from_overlay(domain)
+
+    # ------------------------------------------------------------------
+    # Mirror maintenance
+    # ------------------------------------------------------------------
+
+    def _on_mapping_event(self, action: str,
+                          mapping: SchemaMapping) -> None:
+        """Apply one peer-issued mapping event to mirror and clock."""
+        if action == "remove":
+            self.graph.remove(mapping.mapping_id)
+        else:  # "insert" or "deprecate" — payload carries the new state
+            self.graph.add(mapping)
+        self.clock.bump(mapping)
+
+    def sync_from_overlay(self, domain: str = "default") -> None:
+        """Rebuild the mirror by crawling the overlay's mapping records.
+
+        Needed once when the engine is created *after* mappings were
+        already inserted; subsequent events keep the mirror current.
+        Flushes the plan cache, since plans may predate the rebuild.
+        """
+        self.graph = self.network.mapping_graph(domain,
+                                               include_deprecated=True)
+        self.cache.invalidate_all()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, query: ConjunctiveQuery,
+             max_hops: int | None = None) -> list[Reformulation]:
+        """The reformulation plan for ``query``, cached when possible."""
+        hops = self.max_hops if max_hops is None else max_hops
+        cached = self.cache.lookup(query, hops)
+        if cached is not None:
+            return cached
+        self.stats.planner_invocations += 1
+        plan = plan_reformulations(query, self.graph, max_hops=hops)
+        self.cache.store(query, hops, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def search_for(self, query: ConjunctiveQuery | str,
+                   max_hops: int | None = None,
+                   origin: str | None = None) -> QueryOutcome:
+        """Resolve one query through the engine (strategy ``"engine"``).
+
+        Accepts the paper's surface syntax like
+        ``GridVineNetwork.search_for``; equivalent to a one-query
+        batch.
+        """
+        result = self.execute_batch([query], max_hops=max_hops,
+                                    origin=origin)
+        return result.outcomes[0]
+
+    def execute_batch(self, queries: list[ConjunctiveQuery | str],
+                      max_hops: int | None = None,
+                      origin: str | None = None) -> BatchResult:
+        """Plan and run a batch of queries with shared pattern lookups.
+
+        Every query is planned through the cache, the union of all
+        reformulations' patterns is deduplicated and fetched once, and
+        each query's joins run over the shared fetch results.  Joins
+        use the parallel mode (per-pattern fetch + origin-side join);
+        the bound-join mode trades per-query messages for shipped
+        volume and does not compose with cross-query sharing.
+
+        Message accounting lives on the returned
+        :attr:`BatchResult.messages`: shared lookups make per-query
+        attribution meaningless, so individual outcomes carry a
+        message count only for single-query batches.
+        """
+        parsed = [
+            parse_search_for(q) if isinstance(q, str) else q
+            for q in queries
+        ]
+        plans = [self.plan(q, max_hops) for q in parsed]
+        peer = self.network._origin(origin)
+        metrics = self.network.network.metrics
+        messages_before = metrics.messages_sent
+        outcomes, fetch_stats = self.network.loop.run_until_complete(
+            execute_batch(peer, parsed, plans)
+        )
+        messages = metrics.messages_sent - messages_before
+        if len(outcomes) == 1:
+            outcomes[0].messages = messages
+        self.stats.batches_executed += 1
+        self.stats.queries_executed += len(parsed)
+        self.stats.patterns_total += fetch_stats.patterns_total
+        self.stats.patterns_fetched += fetch_stats.patterns_fetched
+        self.stats.messages += messages
+        return BatchResult(
+            outcomes=outcomes,
+            patterns_fetched=fetch_stats.patterns_fetched,
+            patterns_total=fetch_stats.patterns_total,
+            messages=messages,
+        )

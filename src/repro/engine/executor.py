@@ -1,0 +1,131 @@
+"""Batched multi-query execution with shared pattern lookups.
+
+Executing a batch of (reformulated) queries naively issues one overlay
+lookup per triple pattern per reformulation per query.  Under real
+multi-user traffic the same patterns recur constantly — repeated
+queries, alpha-variant queries from different users, and conjunctive
+queries whose reformulations leave some patterns untouched all ask the
+overlay the same questions.  The batch executor exploits this: it
+collects every pattern appearing anywhere in the batch, dedupes them
+up to variable renaming (:func:`~repro.engine.signature.
+canonicalize_pattern`), issues each distinct pattern **once**, and
+fans the fetched bindings back out to every query's join pipeline.
+
+Joins follow the paper's parallel mode ("iteratively resolving each
+triple pattern contained in the query and aggregating the sets of
+results retrieved", §2.3): per reformulation, the per-pattern binding
+sets are natural-joined at the origin and projected onto the
+distinguished variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.signature import Renaming, canonicalize_pattern
+from repro.mediation.peer import GridVinePeer
+from repro.mediation.query import QueryOutcome
+from repro.rdf.patterns import ConjunctiveQuery, join_bindings
+from repro.rdf.terms import GroundTerm, Variable
+from repro.reformulation.planner import Reformulation
+from repro.simnet.events import Future, gather
+
+
+@dataclass
+class BatchFetchStats:
+    """What pattern deduplication saved for one batch."""
+
+    #: pattern occurrences across all queries and reformulations
+    patterns_total: int = 0
+    #: distinct patterns actually fetched from the overlay
+    patterns_fetched: int = 0
+
+    @property
+    def lookups_saved(self) -> int:
+        """Overlay lookups avoided by deduplication."""
+        return self.patterns_total - self.patterns_fetched
+
+
+def _remap_bindings(
+    bindings: list[dict[Variable, GroundTerm]],
+    inverse: Renaming,
+) -> list[dict[Variable, GroundTerm]]:
+    """Re-express canonical-variable bindings in a pattern's own
+    variables (bindings of fully ground patterns pass through)."""
+    if not inverse:
+        return bindings
+    return [
+        {inverse.get(var, var): term for var, term in b.items()}
+        for b in bindings
+    ]
+
+
+def execute_batch(
+    peer: GridVinePeer,
+    queries: list[ConjunctiveQuery],
+    plans: list[list[Reformulation]],
+) -> Future:
+    """Run a batch of planned queries from ``peer``.
+
+    ``plans[i]`` is the reformulation plan of ``queries[i]`` (the
+    original query included).  Resolves to ``(outcomes, fetch_stats)``
+    where ``outcomes[i]`` is the :class:`QueryOutcome` of
+    ``queries[i]`` with per-reformulation result attribution, exactly
+    as the iterative strategy would have produced.
+    """
+    if len(queries) != len(plans):
+        raise ValueError("one plan per query required")
+    issued_at = peer.loop.now
+    stats = BatchFetchStats()
+    #: canonical pattern -> index into the fetch list
+    fetch_index: dict = {}
+    fetch_patterns: list = []
+    #: (query index, reformulation, [(fetch idx, inverse renaming)])
+    uses: list[tuple[int, Reformulation, list[tuple[int, Renaming]]]] = []
+    for query_index, plan in enumerate(plans):
+        for reformulation in plan:
+            per_pattern: list[tuple[int, Renaming]] = []
+            for pattern in reformulation.query.patterns:
+                stats.patterns_total += 1
+                canonical, inverse = canonicalize_pattern(pattern)
+                index = fetch_index.get(canonical)
+                if index is None:
+                    index = len(fetch_patterns)
+                    fetch_index[canonical] = index
+                    fetch_patterns.append(canonical)
+                per_pattern.append((index, inverse))
+            uses.append((query_index, reformulation, per_pattern))
+    stats.patterns_fetched = len(fetch_patterns)
+
+    outcomes = [
+        QueryOutcome(query=query, strategy="engine", issued_at=issued_at)
+        for query in queries
+    ]
+    out: Future = Future()
+
+    def _on_fetched(f: Future) -> None:
+        fetched: list[list[dict[Variable, GroundTerm]]] = f.result()
+        for query_index, reformulation, per_pattern in uses:
+            query = reformulation.query
+            joined: list[dict[Variable, GroundTerm]] = [{}]
+            for index, inverse in per_pattern:
+                joined = join_bindings(
+                    joined, _remap_bindings(fetched[index], inverse)
+                )
+                if not joined:
+                    break
+            rows = {
+                query.project(b) for b in joined
+                if all(v in b for v in query.distinguished)
+            }
+            outcomes[query_index].record(query, rows)
+        now = peer.loop.now
+        for outcome, plan in zip(outcomes, plans):
+            outcome.latency = now - issued_at
+            outcome.reformulations_explored = max(0, len(plan) - 1)
+        out.set_result((outcomes, stats))
+
+    gather([
+        peer._search_pattern(pattern) for pattern in fetch_patterns
+    ]).add_done_callback(_on_fetched)
+    return out

@@ -1,0 +1,106 @@
+"""Structural query signatures: alpha-renaming of variables.
+
+Two queries that differ only in variable names — ``SearchFor(x? :
+(x?, EMBL#Organism, %Aspergillus%))`` issued by one user and
+``SearchFor(y? : (y?, EMBL#Organism, %Aspergillus%))`` issued by
+another — reformulate identically: view unfolding only ever rewrites
+predicates, never variables.  The plan cache therefore keys entries by
+the *canonical form* of a query, in which variables are renamed to
+``_c0, _c1, ...`` in order of first occurrence.  A cache hit for an
+alpha-variant renames the cached plan's variables back through the
+inverse renaming, reconstructing exactly the plan the planner would
+have produced for the variant.
+
+Renaming respects repetition (a variable occurring twice keeps
+occurring twice), so canonical forms coincide precisely for
+alpha-equivalent queries.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triples import ALL_POSITIONS
+
+#: Prefix of canonical variable names.  Deliberately unusual: even if a
+#: user query *does* use ``_c0`` as a variable name, canonicalization
+#: stays a bijection and alpha-equivalence classes still map one-to-one
+#: onto canonical forms.
+_CANONICAL_PREFIX = "_c"
+
+#: variable -> variable substitution
+Renaming = dict[Variable, Variable]
+
+
+def _rename_term(term: Term, renaming: Renaming) -> Term:
+    if isinstance(term, Variable):
+        return renaming.get(term, term)
+    return term
+
+
+def rename_pattern(pattern: TriplePattern,
+                   renaming: Renaming) -> TriplePattern:
+    """A copy of ``pattern`` with variables substituted."""
+    return TriplePattern(*(
+        _rename_term(pattern.at(pos), renaming) for pos in ALL_POSITIONS
+    ))
+
+
+def rename_query(query: ConjunctiveQuery,
+                 renaming: Renaming) -> ConjunctiveQuery:
+    """A copy of ``query`` with variables substituted throughout."""
+    return ConjunctiveQuery(
+        [rename_pattern(p, renaming) for p in query.patterns],
+        [renaming.get(v, v) for v in query.distinguished],
+    )
+
+
+def canonicalize_query(
+    query: ConjunctiveQuery,
+) -> tuple[ConjunctiveQuery, Renaming]:
+    """The canonical form of ``query`` plus the *inverse* renaming.
+
+    Variables are renamed to ``_c0, _c1, ...`` in order of first
+    occurrence (pattern by pattern, subject/predicate/object within
+    each).  The returned inverse maps canonical variables back to the
+    query's own, so a cached plan can be re-expressed in the caller's
+    vocabulary.
+
+    >>> from repro.rdf.parser import parse_search_for
+    >>> a = parse_search_for("SearchFor(x? : (x?, A#p, v))")
+    >>> b = parse_search_for("SearchFor(y? : (y?, A#p, v))")
+    >>> canonicalize_query(a)[0] == canonicalize_query(b)[0]
+    True
+    >>> sorted(v.value for v in canonicalize_query(a)[1])
+    ['_c0']
+    """
+    forward: Renaming = {}
+    for pattern in query.patterns:
+        for pos in ALL_POSITIONS:
+            term = pattern.at(pos)
+            if isinstance(term, Variable) and term not in forward:
+                forward[term] = Variable(
+                    f"{_CANONICAL_PREFIX}{len(forward)}"
+                )
+    inverse = {canonical: original
+               for original, canonical in forward.items()}
+    return rename_query(query, forward), inverse
+
+
+def canonicalize_pattern(
+    pattern: TriplePattern,
+) -> tuple[TriplePattern, Renaming]:
+    """Canonical form of a single pattern plus the inverse renaming.
+
+    Used by the batch executor to recognize that two patterns from
+    different queries (or different reformulations) ask the overlay the
+    same question, so one lookup can serve both.
+    """
+    forward: Renaming = {}
+    for pos in ALL_POSITIONS:
+        term = pattern.at(pos)
+        if isinstance(term, Variable) and term not in forward:
+            forward[term] = Variable(f"{_CANONICAL_PREFIX}{len(forward)}")
+    inverse = {canonical: original
+               for original, canonical in forward.items()}
+    return rename_pattern(pattern, forward), inverse

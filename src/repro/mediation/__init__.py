@@ -24,7 +24,12 @@ operations of the paper:
 
 :class:`~repro.mediation.network.GridVineNetwork` builds a whole
 simulated deployment (event loop + latency model + N peers) and offers
-a synchronous façade used by the examples and benchmarks.
+a synchronous façade used by the examples and benchmarks.  Mapping
+mutations additionally fire issuing-path hooks
+(:attr:`GridVinePeer.mapping_hooks`, relayed deployment-wide by
+``GridVineNetwork.add_mapping_listener``) — the change feed that keeps
+a :class:`~repro.engine.core.QueryEngine`'s plan cache and mapping
+mirror consistent; ``GridVineNetwork.create_engine`` builds one.
 """
 
 from repro.mediation.records import (

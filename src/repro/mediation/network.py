@@ -47,6 +47,13 @@ class GridVineNetwork:
         self.network = network
         self.peers = peers
         self.rng = rng
+        #: deployment-wide mapping-event listeners ``fn(action,
+        #: mapping)``; every peer's issuing-path hook relays here so a
+        #: :class:`~repro.engine.core.QueryEngine` sees mutations from
+        #: any origin (including the self-organization loop)
+        self._mapping_listeners: list = []
+        for peer in self.peers.values():
+            peer.mapping_hooks.append(self._emit_mapping_event)
 
     # ------------------------------------------------------------------
     # Construction
@@ -133,8 +140,10 @@ class GridVineNetwork:
         from repro.pgrid.membership import join_network
 
         def factory(new_id: str, path: Key) -> GridVinePeer:
-            return GridVinePeer(new_id, path,
+            peer = GridVinePeer(new_id, path,
                                 rng=random.Random(self.rng.random()))
+            peer.mapping_hooks.append(self._emit_mapping_event)
+            return peer
 
         return join_network(self.network, self.peers, node_id, factory,
                             rng=random.Random(self.rng.random()))
@@ -148,6 +157,34 @@ class GridVineNetwork:
         """Run the loop until quiescence (replication, republication
         and other background traffic finishes)."""
         self.loop.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Mapping events and the query engine
+    # ------------------------------------------------------------------
+
+    def _emit_mapping_event(self, action: str, mapping) -> None:
+        for listener in self._mapping_listeners:
+            listener(action, mapping)
+
+    def add_mapping_listener(self, listener) -> None:
+        """Subscribe ``fn(action, mapping)`` to every mapping mutation
+        issued anywhere in the deployment (``action`` is one of
+        ``"insert"``, ``"remove"``, ``"deprecate"``)."""
+        self._mapping_listeners.append(listener)
+
+    def create_engine(self, domain: str | None = None,
+                      max_hops: int = 5,
+                      cache_capacity: int = 256):
+        """A new :class:`~repro.engine.core.QueryEngine` bound to this
+        deployment (plan caching + batched execution).
+
+        Pass ``domain`` to backfill the engine's mapping-graph mirror
+        from the overlay when mappings were already inserted; engines
+        created before any mapping stay in sync automatically.
+        """
+        from repro.engine.core import QueryEngine
+        return QueryEngine(self, domain=domain, max_hops=max_hops,
+                           cache_capacity=cache_capacity)
 
     # ------------------------------------------------------------------
     # Synchronous mediation operations
@@ -230,6 +267,21 @@ class GridVineNetwork:
 
         ``query`` may be a parsed query or the paper's surface syntax,
         e.g. ``"SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%))"``.
+
+        ``strategy`` is one of:
+
+        ``"local"``
+            No reformulation — only data under the query's own schema.
+        ``"iterative"``
+            The origin fetches mapping records itself and issues every
+            reformulation it can derive (§4).
+        ``"recursive"``
+            Reformulation is delegated hop-by-hop to the peers holding
+            the mappings (§4).
+
+        For repeated / high-volume workloads, prefer an engine from
+        :meth:`create_engine`: it caches reformulation plans across
+        calls and dedupes pattern lookups within a batch.
         """
         if isinstance(query, str):
             query = parse_search_for(query)

@@ -115,6 +115,10 @@ class GridVinePeer(PGridPeer):
         self._refo_tasks: dict[str, _RecursiveTask] = {}
         #: recursive-strategy handler-side dedup sets, per task
         self._refo_seen: dict[str, set[ConjunctiveQuery]] = {}
+        #: mapping-event hooks ``fn(action, mapping)`` fired on the
+        #: issuing path of insert/remove/deprecate — the versioning
+        #: signal consumed by :mod:`repro.engine` plan caches
+        self.mapping_hooks: list = []
 
     # ------------------------------------------------------------------
     # Identifier minting
@@ -151,6 +155,33 @@ class GridVinePeer(PGridPeer):
         """``Update(Schema)``: definition stored at ``Hash(Schema Name)``."""
         return self.update(schema_key(schema.name), SchemaRecord(schema))
 
+    def _fire_mapping_event(self, action: str,
+                            mapping: SchemaMapping) -> None:
+        """Notify :attr:`mapping_hooks` of one issued mapping mutation.
+
+        Fired on the *issuing* path (not on record replication), so
+        every logical operation produces exactly one event per
+        direction, in deterministic issuing order.
+        """
+        for hook in self.mapping_hooks:
+            hook(action, mapping)
+
+    def _insert_mapping_records(self, mapping: SchemaMapping) -> Future:
+        return gather([
+            self.update(schema_key(mapping.source_schema),
+                        MappingRecord(mapping)),
+            self.update(schema_key(mapping.target_schema),
+                        IncomingMappingRecord(mapping)),
+        ])
+
+    def _remove_mapping_records(self, mapping: SchemaMapping) -> Future:
+        return gather([
+            self.update(schema_key(mapping.source_schema),
+                        MappingRecord(mapping), action="remove"),
+            self.update(schema_key(mapping.target_schema),
+                        IncomingMappingRecord(mapping), action="remove"),
+        ])
+
     def insert_mapping(self, mapping: SchemaMapping,
                        bidirectional: bool = False) -> Future:
         """``Update(Schema Mapping)``.
@@ -162,28 +193,18 @@ class GridVinePeer(PGridPeer):
         from the equivalence correspondences) — "or at the key spaces
         corresponding to both schemas if the mapping is bidirectional".
         """
-        ops = [
-            self.update(schema_key(mapping.source_schema),
-                        MappingRecord(mapping)),
-            self.update(schema_key(mapping.target_schema),
-                        IncomingMappingRecord(mapping)),
-        ]
+        self._fire_mapping_event("insert", mapping)
+        ops = [self._insert_mapping_records(mapping)]
         if bidirectional:
             reverse = mapping.reversed()
-            ops.append(self.update(schema_key(reverse.source_schema),
-                                   MappingRecord(reverse)))
-            ops.append(self.update(schema_key(reverse.target_schema),
-                                   IncomingMappingRecord(reverse)))
+            self._fire_mapping_event("insert", reverse)
+            ops.append(self._insert_mapping_records(reverse))
         return gather(ops)
 
     def remove_mapping(self, mapping: SchemaMapping) -> Future:
         """Delete a directed mapping's record and its incoming marker."""
-        return gather([
-            self.update(schema_key(mapping.source_schema),
-                        MappingRecord(mapping), action="remove"),
-            self.update(schema_key(mapping.target_schema),
-                        IncomingMappingRecord(mapping), action="remove"),
-        ])
+        self._fire_mapping_event("remove", mapping)
+        return self._remove_mapping_records(mapping)
 
     def replace_mapping(self, old: SchemaMapping,
                         new: SchemaMapping) -> Future:
@@ -200,7 +221,12 @@ class GridVinePeer(PGridPeer):
     def deprecate_mapping(self, mapping: SchemaMapping) -> Future:
         """Mark a mapping deprecated (§3.2): it keeps existing but is
         ignored for reformulation and connectivity accounting."""
-        return self.replace_mapping(mapping, mapping.with_deprecated(True))
+        deprecated = mapping.with_deprecated(True)
+        self._fire_mapping_event("deprecate", deprecated)
+        return gather([
+            self._remove_mapping_records(mapping),
+            self._insert_mapping_records(deprecated),
+        ])
 
     # ------------------------------------------------------------------
     # Mediation-layer reads
@@ -252,6 +278,13 @@ class GridVinePeer(PGridPeer):
     def search_for(self, query: ConjunctiveQuery, strategy: str = "iterative",
                    max_hops: int = 5) -> Future:
         """Resolve a query; resolves to a :class:`QueryOutcome`.
+
+        ``strategy`` selects where reformulation runs: ``"local"``
+        (no reformulation), ``"iterative"`` (the origin walks mapping
+        paths itself) or ``"recursive"`` (reformulation is delegated
+        to the schema peers) — see the module docstring for the
+        paper's definitions.  Conjunctive joins additionally honour
+        :attr:`join_mode` (``"parallel"`` or ``"bound"``).
 
         ``max_hops`` bounds the length of mapping paths explored (the
         recursive strategy's TTL / the iterative strategy's BFS depth).

@@ -11,6 +11,12 @@ strategies* of §4 (iterative: the issuing peer walks mapping paths
 itself; recursive: successive reformulations are delegated to the
 intermediate peers holding the mappings) are implemented in
 :mod:`repro.mediation.peer` on top of this logic.
+
+Planning is a pure function of (query, mapping graph), which is what
+makes it cacheable: :mod:`repro.engine` wraps
+:func:`~repro.reformulation.planner.plan_reformulations` in an
+invalidation-aware plan cache so repeated and structurally identical
+queries skip the BFS entirely.
 """
 
 from repro.reformulation.planner import (

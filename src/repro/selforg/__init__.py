@@ -18,6 +18,13 @@ The closed loop that is the paper's headline contribution:
 
 :class:`~repro.selforg.controller.SelfOrganizationController` drives
 the loop against a live :class:`~repro.mediation.network.GridVineNetwork`.
+
+Every mapping this loop creates or deprecates flows through the
+issuing peer's mapping-event hooks, so the version clock of any
+attached :class:`~repro.engine.core.QueryEngine` advances and affected
+cached reformulation plans are invalidated immediately; pass the
+engine to the controller to get per-round invalidation counts in its
+:class:`~repro.selforg.controller.RoundReport`.
 """
 
 from repro.selforg.matcher import MatcherConfig, match_attributes

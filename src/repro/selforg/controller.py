@@ -43,6 +43,9 @@ class RoundReport:
     created: list[str] = field(default_factory=list)
     deprecated: list[str] = field(default_factory=list)
     posteriors: dict[str, float] = field(default_factory=dict)
+    #: cached reformulation plans invalidated by this round's mapping
+    #: mutations (0 unless the controller watches a query engine)
+    plans_invalidated: int = 0
 
     @property
     def connected(self) -> bool:
@@ -60,6 +63,7 @@ class SelfOrganizationController:
         policy: CreationPolicy | None = None,
         deprecation: DeprecationConfig | None = None,
         reference_attribute_hint: str | None = None,
+        engine=None,
     ) -> None:
         self.network = network
         self.domain = domain
@@ -69,6 +73,12 @@ class SelfOrganizationController:
         #: substring selecting "reference" attributes (e.g. "Acc");
         #: None means every object value counts as a reference
         self.reference_attribute_hint = reference_attribute_hint
+        #: optional :class:`~repro.engine.core.QueryEngine` whose
+        #: plan-cache invalidations each round reports — the mapping
+        #: mutations this loop issues flow through the peers'
+        #: mapping-event hooks, so affected cached plans are dropped
+        #: the moment a mapping is created or deprecated
+        self.engine = engine
         self.rounds_run = 0
 
     # ------------------------------------------------------------------
@@ -131,6 +141,10 @@ class SelfOrganizationController:
         """One round: check ci, create if fragmented, assess, deprecate."""
         round_index = self.rounds_run
         self.rounds_run += 1
+        invalidations_before = (
+            self.engine.cache.stats.invalidations
+            if self.engine is not None else 0
+        )
         records = self.network.connectivity_records(self.domain)
         ci_before = indicator_from_degrees([r.degree_pair for r in records])
         created: list[str] = []
@@ -172,6 +186,10 @@ class SelfOrganizationController:
             self.network.settle()
         records = self.network.connectivity_records(self.domain)
         ci_after = indicator_from_degrees([r.degree_pair for r in records])
+        plans_invalidated = 0
+        if self.engine is not None:
+            plans_invalidated = (self.engine.cache.stats.invalidations
+                                 - invalidations_before)
         return RoundReport(
             round_index=round_index,
             ci_before=ci_before,
@@ -180,6 +198,7 @@ class SelfOrganizationController:
             created=created,
             deprecated=deprecated,
             posteriors=posteriors,
+            plans_invalidated=plans_invalidated,
         )
 
     def run(self, max_rounds: int = 10,

@@ -1,4 +1,5 @@
-"""Small statistics helpers shared by benches and the connectivity code.
+"""Small statistics helpers shared by benches, the connectivity code
+and the query engine's execution counters.
 
 Kept free of numpy so the core library has no hard third-party
 dependency; benchmarks may still use numpy for reporting.
@@ -41,6 +42,23 @@ def percentile(samples: Sequence[float], q: float) -> float:
         return ordered[lo]
     frac = rank - lo
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, defined as 0.0 on a zero denominator.
+
+    The safe division used for rate reporting (cache hit rates,
+    pattern-dedup rates) where an empty measurement window is a valid
+    "nothing happened yet" state rather than an error.
+
+    >>> ratio(3, 4)
+    0.75
+    >>> ratio(0, 0)
+    0.0
+    """
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
 
 
 def mean(samples: Iterable[float]) -> float:
