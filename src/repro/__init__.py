@@ -30,6 +30,14 @@ GridVine Peer Data Management System* (Cudré-Mauroux et al., VLDB
     pattern lookups across a batch — the hot-path optimisation for
     repeated / multi-user query traffic.
 
+``repro.resilience``
+    Scripted churn scenarios on top of everything above: compose
+    churn, overlay maintenance, self-organization and a query
+    workload into one reproducible run, with recall measured against
+    ground truth and per-query message counts kept exact by
+    per-operation attribution.  Pairs with the peers' replica-aware
+    failover to keep queries answering while peers crash and recover.
+
 ``repro.datagen``
     Synthetic bioinformatic schemas, records and query workloads used
     by the examples and benchmarks (substituting the EBI/SRS data of

@@ -16,8 +16,14 @@ booth:
     (:mod:`repro.engine`) and report plan-cache hit rate, pattern
     deduplication and messages — the engine's execution statistics.
 
+``scenario``
+    Run a scripted churn scenario (:mod:`repro.resilience`): peers
+    fail and recover while a query workload runs, and the report
+    shows recall vs ground truth, latency percentiles, exact
+    per-query messages and failover activity.
+
 ``experiments``
-    List the E1..E13 benchmark targets and how to run them.
+    List the E1..E14 benchmark targets and how to run them.
 """
 
 from __future__ import annotations
@@ -54,6 +60,8 @@ _EXPERIMENTS = [
      "bench_e12_join_modes.py"),
     ("E13", "plan-cache warm/cold + batched dedup",
      "bench_e13_plan_cache.py"),
+    ("E14", "churn recall with replica failover on/off",
+     "bench_e14_churn_recall.py"),
 ]
 
 
@@ -178,6 +186,35 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_scenario(args) -> int:
+    from repro.resilience import ScenarioRunner, ScenarioSpec
+
+    spec = ScenarioSpec(
+        num_peers=args.peers,
+        replication=args.replication,
+        refs_per_level=args.replication,
+        seed=args.seed,
+        failover=not args.no_failover,
+        num_schemas=args.schemas,
+        num_entities=args.entities,
+        selforg_rounds=args.selforg_rounds,
+        mean_uptime=args.uptime,
+        mean_downtime=args.downtime,
+        num_queries=args.queries,
+        strategy=args.strategy,
+    )
+    print(f"scenario: {spec.num_peers} peers (replication "
+          f"{spec.replication}), {spec.num_schemas} schemas, "
+          f"churn up/down {spec.mean_uptime:.0f}s/"
+          f"{spec.mean_downtime:.0f}s, {spec.num_queries} queries "
+          f"({spec.strategy}), failover "
+          f"{'on' if spec.failover else 'off'}")
+    report = ScenarioRunner.from_spec(spec).run()
+    for line in report.summary():
+        print(line)
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     print("experiment benchmarks (see EXPERIMENTS.md for recorded "
           "paper-vs-measured results):\n")
@@ -232,6 +269,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how many times each query recurs")
     _add_deploy_args(batch)
     batch.set_defaults(func=cmd_batch)
+
+    scenario = sub.add_parser(
+        "scenario", help="run a scripted churn scenario and report "
+                         "recall, latency and failover activity")
+    scenario.add_argument("--peers", type=int, default=48)
+    scenario.add_argument("--replication", type=int, default=3,
+                          help="replica-group size (and refs per level)")
+    scenario.add_argument("--schemas", type=int, default=6)
+    scenario.add_argument("--entities", type=int, default=60)
+    scenario.add_argument("--seed", type=int, default=42)
+    scenario.add_argument("--queries", type=int, default=18)
+    scenario.add_argument("--uptime", type=float, default=120.0,
+                          help="mean seconds a peer stays online")
+    scenario.add_argument("--downtime", type=float, default=45.0,
+                          help="mean seconds a failed peer stays offline")
+    scenario.add_argument("--selforg-rounds", type=int, default=0,
+                          help="self-organization rounds before churn "
+                               "(0: pre-insert the ground-truth chain)")
+    scenario.add_argument("--strategy", default="iterative",
+                          choices=["local", "iterative", "recursive",
+                                   "engine"])
+    scenario.add_argument("--no-failover", action="store_true",
+                          help="disable replica-aware failover (A/B "
+                               "baseline)")
+    scenario.set_defaults(func=cmd_scenario)
 
     experiments = sub.add_parser("experiments",
                                  help="list benchmark targets")

@@ -219,11 +219,21 @@ class QueryEngine:
         plans = [self.plan(q, max_hops) for q in parsed]
         peer = self.network._origin(origin)
         metrics = self.network.network.metrics
-        messages_before = metrics.messages_sent
-        outcomes, fetch_stats = self.network.loop.run_until_complete(
-            execute_batch(peer, parsed, plans)
-        )
-        messages = metrics.messages_sent - messages_before
+        # Per-operation attribution: the batch's pattern fetches (and
+        # everything they cause downstream) carry this tag, so the
+        # count stays exact even with maintenance or churn traffic
+        # running in the background.
+        op_tag = f"batch:{next(self.network._op_tags)}"
+        metrics.begin_operation(op_tag)
+        try:
+            with self.network.network.operation(op_tag):
+                batch_future = execute_batch(peer, parsed, plans)
+            outcomes, fetch_stats = self.network.loop.run_until_complete(
+                batch_future
+            )
+            messages = metrics.operation_messages(op_tag)
+        finally:
+            metrics.end_operation(op_tag)
         if len(outcomes) == 1:
             outcomes[0].messages = messages
         self.stats.batches_executed += 1

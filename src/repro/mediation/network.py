@@ -14,6 +14,7 @@ reporting, never inside protocol logic.
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections.abc import Iterable, Sequence
 
@@ -32,7 +33,7 @@ from repro.rdf.parser import parse_search_for
 from repro.rdf.patterns import ConjunctiveQuery
 from repro.rdf.triples import Triple
 from repro.schema.model import Schema
-from repro.simnet.events import EventLoop, Future
+from repro.simnet.events import EventLoop, Future, SimulationError
 from repro.simnet.latency import LatencyModel
 from repro.simnet.network import SimNetwork
 from repro.util.keys import Key
@@ -43,10 +44,19 @@ class GridVineNetwork:
 
     def __init__(self, network: SimNetwork,
                  peers: dict[str, GridVinePeer],
-                 rng: random.Random) -> None:
+                 rng: random.Random,
+                 failover: bool = True,
+                 refs_per_level: int = 2) -> None:
         self.network = network
         self.peers = peers
         self.rng = rng
+        #: whether peers created later (joins) use replica failover
+        self.failover = failover
+        #: the deployment's routing-table redundancy target (what
+        #: maintenance repairs thin levels back up to)
+        self.refs_per_level = refs_per_level
+        #: monotonically increasing suffix for attribution tags
+        self._op_tags = itertools.count()
         #: deployment-wide mapping-event listeners ``fn(action,
         #: mapping)``; every peer's issuing-path hook relays here so a
         #: :class:`~repro.engine.core.QueryEngine` sees mutations from
@@ -72,9 +82,12 @@ class GridVineNetwork:
         timeout: float = 15.0,
         max_retries: int = 2,
         query_timeout: float = 120.0,
+        failover: bool = True,
     ) -> "GridVineNetwork":
         """Build a deployment; parameters mirror
-        :meth:`repro.pgrid.overlay.PGridOverlay.build`."""
+        :meth:`repro.pgrid.overlay.PGridOverlay.build` plus
+        ``failover`` (replica-aware retry steering, see
+        :class:`~repro.pgrid.peer.PGridPeer`)."""
         rng = random.Random(seed)
         network = SimNetwork(
             loop=EventLoop(),
@@ -96,6 +109,7 @@ class GridVineNetwork:
                 timeout=timeout,
                 max_retries=max_retries,
                 query_timeout=query_timeout,
+                failover=failover,
             )
             network.attach(peer)
             peers[node_id] = peer
@@ -103,7 +117,8 @@ class GridVineNetwork:
             peers, refs_per_level=refs_per_level,
             rng=random.Random(rng.random()),
         )
-        return cls(network, peers, rng)
+        return cls(network, peers, rng, failover=failover,
+                   refs_per_level=refs_per_level)
 
     # ------------------------------------------------------------------
     # Peer access
@@ -123,13 +138,29 @@ class GridVineNetwork:
         return self.peers[node_id]
 
     def random_peer(self) -> GridVinePeer:
-        """A uniformly random peer (from the harness RNG)."""
-        return self.peers[self.rng.choice(self.peer_ids())]
+        """A uniformly random *online* peer (from the harness RNG).
+
+        Offline peers cannot originate operations — their messages
+        would vanish and the whole query would spuriously fail — so
+        under churn the draw skips them.  With every peer online the
+        draw is identical to the historical uniform choice.
+        """
+        online = [node_id for node_id in self.peer_ids()
+                  if self.network.is_online(node_id)]
+        if not online:
+            raise SimulationError("no online peer available as origin")
+        return self.peers[self.rng.choice(online)]
 
     def _origin(self, origin: str | None) -> GridVinePeer:
         if origin is None:
             return self.random_peer()
-        return self.peers[origin]
+        peer = self.peers[origin]
+        if not self.network.is_online(origin):
+            raise SimulationError(
+                f"origin peer {origin!r} is offline; pick an online "
+                "peer or protect the origin from churn"
+            )
+        return peer
 
     # ------------------------------------------------------------------
     # Membership
@@ -141,7 +172,8 @@ class GridVineNetwork:
 
         def factory(new_id: str, path: Key) -> GridVinePeer:
             peer = GridVinePeer(new_id, path,
-                                rng=random.Random(self.rng.random()))
+                                rng=random.Random(self.rng.random()),
+                                failover=self.failover)
             peer.mapping_hooks.append(self._emit_mapping_event)
             return peer
 
@@ -256,6 +288,29 @@ class GridVineNetwork:
         return mapping
 
     # ------------------------------------------------------------------
+    # Scenarios (resilience experiments)
+    # ------------------------------------------------------------------
+
+    def run_scenario(self, panel, spec=None, origin: str | None = None,
+                     domain: str = "default"):
+        """Run a scripted churn scenario against *this* deployment.
+
+        ``panel`` is a list of ``(query, ground_truth_subjects)`` pairs
+        (see :func:`repro.resilience.scenario.ground_truth_panel`);
+        ``spec`` a :class:`~repro.resilience.scenario.ScenarioSpec`
+        whose runtime knobs (churn, maintenance, workload pacing)
+        apply — its deployment fields are ignored since the network
+        already exists.  Returns the
+        :class:`~repro.resilience.scenario.ScenarioReport`.
+
+        To build deployment *and* corpus from the spec in one go, use
+        :meth:`repro.resilience.scenario.ScenarioRunner.from_spec`.
+        """
+        from repro.resilience.scenario import ScenarioRunner
+        return ScenarioRunner(self, panel, spec, origin=origin,
+                              domain=domain).run()
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
@@ -285,13 +340,25 @@ class GridVineNetwork:
         """
         if isinstance(query, str):
             query = parse_search_for(query)
-        messages_before = self.network.metrics.messages_sent
-        outcome = self._run(self._origin(origin).search_for(
-            query, strategy=strategy, max_hops=max_hops
-        ))
-        outcome.messages = (self.network.metrics.messages_sent
-                            - messages_before)
-        return outcome
+        origin_peer = self._origin(origin)
+        op_tag = f"searchfor:{next(self._op_tags)}"
+        metrics = self.network.metrics
+        metrics.begin_operation(op_tag)
+        try:
+            # The synchronous kickoff runs inside the attribution
+            # scope; every asynchronous continuation inherits the tag
+            # through the messages themselves, so concurrent
+            # maintenance / churn / replication traffic is never
+            # billed to this query.
+            with self.network.operation(op_tag):
+                future = origin_peer.search_for(
+                    query, strategy=strategy, max_hops=max_hops
+                )
+            outcome = self._run(future)
+            outcome.messages = metrics.operation_messages(op_tag)
+            return outcome
+        finally:
+            metrics.end_operation(op_tag)
 
     # ------------------------------------------------------------------
     # Connectivity (§3.1) and graph reconstruction

@@ -86,9 +86,10 @@ class GridVinePeer(PGridPeer):
         timeout: float = 15.0,
         max_retries: int = 2,
         query_timeout: float = 120.0,
+        failover: bool = True,
     ) -> None:
         super().__init__(node_id, path, rng=rng, timeout=timeout,
-                         max_retries=max_retries)
+                         max_retries=max_retries, failover=failover)
         self.query_timeout = query_timeout
         #: conjunctive-join execution mode: ``"parallel"`` resolves all
         #: patterns independently and joins at the origin (the paper's
@@ -831,6 +832,10 @@ class _RecursiveTask:
         self.results_received: set[str] = set()
         self.finished = False
         self.timeout_handle = None
+        #: attribution tag captured at issue time (a timeout-driven
+        #: finish runs outside any delivery scope)
+        self.op_tag = (peer.network.current_operation()
+                       if peer.network is not None else None)
 
     def on_report(self, request_id: str, report: dict) -> None:
         """A schema peer reported which sub-requests it spawned."""
@@ -872,4 +877,8 @@ class _RecursiveTask:
             0, len(self.outcome.results_by_query) - 1
         )
         self.outcome.latency = self.peer.loop.now - self.outcome.issued_at
-        self.future.set_result(self.outcome)
+        if self.op_tag is not None and self.peer.network is not None:
+            with self.peer.network.operation(self.op_tag):
+                self.future.set_result(self.outcome)
+        else:
+            self.future.set_result(self.outcome)

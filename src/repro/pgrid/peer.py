@@ -67,6 +67,13 @@ class _Pending:
     attempts: int = 1
     timeout_handle: Any = None
     extra: dict = field(default_factory=dict)
+    #: attribution tag captured at issue time, so timeout-driven
+    #: retries (which run outside any delivery scope) keep billing
+    #: their messages to the originating operation
+    op_tag: str | None = None
+    #: first-hop references already tried; replica-aware failover
+    #: steers retries away from these toward alternate replicas
+    tried_hops: set[str] = field(default_factory=set)
 
 
 class PGridPeer(Node):
@@ -84,7 +91,24 @@ class PGridPeer(Node):
         Seconds an origin waits for a reply before retrying.
     max_retries:
         Additional attempts after the first one fails.
+    failover:
+        When True (default), two replica-aware mechanisms kick in.
+        *Per hop*: a forwarder that would hand the message to a
+        crashed reference (the transport refuses the connection — the
+        one liveness signal a real network gives instantly) picks an
+        alternate reference covering the same subtree instead of
+        letting the message vanish.  *Per operation*: timeout retries
+        at the origin avoid first-hop entry points already tried, and
+        while untried alternates remain up to ``failover_retries``
+        extra attempts beyond ``max_retries`` are granted.  When
+        False, messages to dead references are silently lost and
+        retries re-roll the same distribution (the pre-failover
+        behaviour, kept for A/B benchmarks such as E14).
     """
+
+    #: extra retry attempts granted while untried first-hop alternates
+    #: remain (only with ``failover=True``)
+    failover_retries = 2
 
     def __init__(
         self,
@@ -93,12 +117,19 @@ class PGridPeer(Node):
         rng: random.Random | None = None,
         timeout: float = 15.0,
         max_retries: int = 2,
+        failover: bool = True,
     ) -> None:
         super().__init__(node_id)
         self.path = path
         self.rng = rng if rng is not None else random.Random(0)
         self.timeout = timeout
         self.max_retries = max_retries
+        self.failover = failover
+        #: failover counters: ``failovers`` counts dead references
+        #: skipped in favour of an alternate replica, ``retries`` the
+        #: timeout-driven re-attempts, ``gave_up`` the operations that
+        #: exhausted every attempt
+        self.failover_stats = {"failovers": 0, "retries": 0, "gave_up": 0}
         #: level -> list of node ids covering the complementary subtree
         self.routing_table: list[list[str]] = [[] for _ in range(len(path))]
         #: replica group sigma(p): other peers with the same path
@@ -209,6 +240,8 @@ class PGridPeer(Node):
             op=op,
             value=value,
             issued_at=self.loop.now,
+            op_tag=(self.network.current_operation()
+                    if self.network is not None else None),
         )
         self._pending[op_id] = pending
         self._attempt(op_id)
@@ -222,36 +255,72 @@ class PGridPeer(Node):
         pending.timeout_handle = self.loop.schedule(
             self.timeout, self._on_timeout, op_id
         )
-        self._handle_route(Message(
+        payload = {
+            "op": pending.op,
+            "op_id": op_id,
+            "key": pending.key.bits,
+            "origin": self.node_id,
+            "value": pending.value,
+        }
+        if self.failover and pending.tried_hops:
+            payload["avoid"] = sorted(pending.tried_hops)
+        message = Message(
             kind="route",
             src=self.node_id,
             dst=self.node_id,
-            payload={
-                "op": pending.op,
-                "op_id": op_id,
-                "key": pending.key.bits,
-                "origin": self.node_id,
-                "value": pending.value,
-            },
+            payload=payload,
             hops=0,
-        ))
+        )
+        if pending.op_tag is not None and self.network is not None:
+            # Timeout-driven retries fire outside any delivery scope;
+            # re-open the operation's scope so the retry's messages are
+            # attributed to it.
+            with self.network.operation(pending.op_tag):
+                self._handle_route(message)
+        else:
+            self._handle_route(message)
+
+    def _untried_alternates(self, pending: _Pending) -> bool:
+        """Whether the routing table still offers a first hop toward
+        ``pending.key`` that this operation has not tried yet."""
+        key = pending.key
+        if not len(self.path) or self.is_responsible_for(key):
+            return False
+        level = common_prefix_length(self.path, key)
+        if level >= len(self.path) or level >= len(key):
+            return False  # answered locally; no first hop involved
+        return any(ref not in pending.tried_hops
+                   for ref in self.routing_table[level])
 
     def _on_timeout(self, op_id: str) -> None:
         pending = self._pending.get(op_id)
         if pending is None:
             return
-        if pending.attempts <= self.max_retries:
+        budget = self.max_retries + 1
+        if self.failover and self._untried_alternates(pending):
+            budget += self.failover_retries
+        if pending.attempts < budget:
             pending.attempts += 1
+            self.failover_stats["retries"] += 1
             self._attempt(op_id)
             return
         del self._pending[op_id]
-        pending.future.set_result(OpResult(
+        self.failover_stats["gave_up"] += 1
+        result = OpResult(
             key=pending.key,
             success=False,
             hops=0,
             latency=self.loop.now - pending.issued_at,
             attempts=pending.attempts,
-        ))
+        )
+        # Resolve inside the operation's attribution scope: the
+        # failure callback may issue follow-up traffic (e.g. the next
+        # pattern of a bound join) that still belongs to the op.
+        if pending.op_tag is not None and self.network is not None:
+            with self.network.operation(pending.op_tag):
+                pending.future.set_result(result)
+        else:
+            pending.future.set_result(result)
 
     # ------------------------------------------------------------------
     # Message handling
@@ -296,25 +365,66 @@ class PGridPeer(Node):
             # subtree, making us a valid entry point for the shower.
             self._answer(message, key)
             return
-        next_hop = self._pick_reference(level)
+        at_origin = (message.hops == 0
+                     and message.payload.get("origin") == self.node_id)
+        avoid: set[str] = set()
+        if at_origin:
+            avoid = set(message.payload.get("avoid") or ())
+        next_hop = self._next_hop_with_failover(level, avoid)
         if next_hop is None:
             # Dead end: no live reference toward the key.  Drop; the
             # origin's timeout will retry (possibly through another
             # replica of the first hop).
             return
-        self.send(
-            next_hop, "route", dict(message.payload), hops=message.hops + 1
-        )
+        if at_origin:
+            pending = self._pending.get(message.payload.get("op_id"))
+            if pending is not None:
+                pending.tried_hops.add(next_hop)
+        payload = dict(message.payload)
+        # The avoid hint is an origin-local failover decision; it has
+        # no meaning (and must not constrain routing) past the first
+        # hop.
+        payload.pop("avoid", None)
+        self.send(next_hop, "route", payload, hops=message.hops + 1)
 
-    def _pick_reference(self, level: int) -> str | None:
+    def _next_hop_with_failover(self, level: int,
+                                avoid: set[str]) -> str | None:
+        """Pick the forwarding reference, skipping crashed ones.
+
+        With failover enabled this models the one liveness signal a
+        real transport gives for free: connecting to a *crashed* host
+        fails immediately, so instead of letting the message vanish
+        the forwarder hands it to an alternate reference covering the
+        same subtree (typically a replica of the dead one).  Routing
+        then only loses a message when *every* known reference for the
+        level is down.  Without failover the historical behaviour
+        applies: the message is sent and silently dropped.
+        """
+        tried = set(avoid)
+        while True:
+            next_hop = self._pick_reference(level, avoid=frozenset(tried))
+            if next_hop is None:
+                return None
+            if (not self.failover or self.network is None
+                    or self.network.is_online(next_hop)
+                    or next_hop in tried):
+                # Live hop, failover disabled, or no alternative left
+                # (the avoid fallback re-offered a known-dead ref).
+                return next_hop
+            tried.add(next_hop)
+            self.failover_stats["failovers"] += 1
+
+    def _pick_reference(self, level: int,
+                        avoid: frozenset = frozenset()) -> str | None:
         """A uniformly random reference at ``level``.
 
         The peer has no oracle for remote liveness: it only knows what
         the maintenance process's probing has taught it (dead
         references get dropped from the table, recently-dead ones sit
         in ``ref_blacklist``).  Blacklisted refs are avoided when an
-        alternative exists; losses surface as origin-side timeouts and
-        retries.
+        alternative exists, as are the ``avoid`` hops an in-flight
+        failover has already tried; losses surface as origin-side
+        timeouts and retries.
         """
         refs = self.routing_table[level]
         if not refs:
@@ -322,7 +432,12 @@ class PGridPeer(Node):
         now = self.loop.now
         trusted = [r for r in refs
                    if self.ref_blacklist.get(r, 0.0) <= now]
-        return self.rng.choice(trusted if trusted else refs)
+        pool = trusted if trusted else refs
+        if avoid:
+            fresh = [r for r in pool if r not in avoid]
+            if fresh:
+                pool = fresh
+        return self.rng.choice(pool)
 
     def _execute_op(self, op: str, key: Key, value: Any) -> tuple[list[Any] | None, bool]:
         """Apply one operation against local state.
@@ -409,7 +524,7 @@ class PGridPeer(Node):
         spawned: list[str] = []
         for level in range(len(prefix), len(self.path)):
             sibling = self.path.sibling_prefix(level)
-            next_hop = self._pick_reference(level)
+            next_hop = self._next_hop_with_failover(level, set())
             if next_hop is None:
                 continue  # that subtree's share is lost; timeout covers it
             spawned.append(self._send_range(sibling, task_id))
@@ -579,6 +694,11 @@ class _RangeTask:
         self.values: list[Any] = []
         self.finished = False
         self.timeout_handle: Any = None
+        #: attribution tag captured at issue time; a timeout-driven
+        #: finish resolves the future outside any delivery scope, and
+        #: its callbacks may still send attributable traffic
+        self.op_tag = (peer.network.current_operation()
+                       if peer.network is not None else None)
 
     def on_report(self, request_id: str, report: dict) -> None:
         if self.finished:
@@ -597,10 +717,15 @@ class _RangeTask:
         if self.timeout_handle is not None:
             self.timeout_handle.cancel()
         self.peer._range_tasks.pop(self.task_id, None)
-        self.future.set_result(OpResult(
+        result = OpResult(
             key=self.prefix,
             success=complete,
             values=self.values,
             hops=len(self.reported),
             latency=self.peer.loop.now - self.issued_at,
-        ))
+        )
+        if self.op_tag is not None and self.peer.network is not None:
+            with self.peer.network.operation(self.op_tag):
+                self.future.set_result(result)
+        else:
+            self.future.set_result(result)

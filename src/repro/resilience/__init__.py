@@ -1,0 +1,27 @@
+"""Churn-resilient query execution: scripted scenarios and reporting.
+
+This package turns the simulator's fault-injection pieces
+(:class:`~repro.simnet.churn.ChurnProcess`,
+:class:`~repro.pgrid.maintenance.MaintenanceProcess`, the peers'
+replica-aware failover retries) into *reproducible experiments*: a
+:class:`ScenarioSpec` describes one scripted run — deployment shape,
+churn intensity, maintenance cadence, self-organization rounds and a
+query workload — and :class:`ScenarioRunner` executes it and measures
+recall against the generator's ground truth, latency percentiles,
+exact per-query message counts (per-operation attribution) and
+failover activity, summarized in a :class:`ScenarioReport`.
+"""
+
+from repro.resilience.scenario import (
+    ScenarioReport,
+    ScenarioRunner,
+    ScenarioSpec,
+    ground_truth_panel,
+)
+
+__all__ = [
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ground_truth_panel",
+]

@@ -1,0 +1,343 @@
+"""Scripted churn scenarios with ground-truth recall accounting.
+
+A *scenario* is one reproducible composition of everything the
+simulator can throw at the mediation layer:
+
+1. build a deployment and load the generated bioinformatic corpus
+   (schemas, triples, ground-truth mappings);
+2. optionally run self-organization rounds while the overlay is still
+   healthy;
+3. start :class:`~repro.pgrid.maintenance.MaintenanceProcess` and
+   :class:`~repro.simnet.churn.ChurnProcess` as background processes;
+4. issue a query workload from a churn-protected origin peer, pacing
+   queries in virtual time so outages, repairs and queries genuinely
+   interleave;
+5. report recall against the generator's ground truth, latency
+   percentiles, exact per-query messages (per-operation attribution —
+   background traffic is never billed to a query) and failover
+   activity.
+
+Everything derives from ``spec.seed``, so a scenario is a fixed point:
+the same spec always produces the same report.  Benchmarks compare
+specs differing in exactly one knob (E14 flips ``failover``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.datagen.generator import BioDataset, BioDatasetGenerator
+from repro.datagen.workload import QueryWorkloadGenerator
+from repro.pgrid.maintenance import MaintenanceProcess
+from repro.rdf.patterns import ConjunctiveQuery
+from repro.simnet.churn import ChurnProcess
+from repro.util.stats import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.mediation.network import GridVineNetwork
+
+#: panel item: (query, set of expected ``Schema:Accession`` subjects)
+Panel = list[tuple[ConjunctiveQuery, set[str]]]
+
+
+@dataclass
+class ScenarioSpec:
+    """One scripted scenario, fully determined by its fields."""
+
+    # -- deployment (used by :meth:`ScenarioRunner.from_spec`) ---------
+    num_peers: int = 48
+    replication: int = 2
+    refs_per_level: int = 2
+    seed: int = 0
+    #: replica-aware retry steering (the E14 A/B knob)
+    failover: bool = True
+    # -- corpus --------------------------------------------------------
+    num_schemas: int = 6
+    num_entities: int = 60
+    #: organism needles queried from the first schema's vocabulary
+    needles: tuple[str, ...] = ("Aspergillus", "Saccharomyces",
+                                "Escherichia")
+    #: self-organization rounds run while the overlay is still healthy
+    #: (0 = rely on the pre-inserted ground-truth mapping chain)
+    selforg_rounds: int = 0
+    # -- background processes ------------------------------------------
+    churn: bool = True
+    mean_uptime: float = 120.0
+    mean_downtime: float = 45.0
+    maintenance: bool = True
+    maintenance_interval: float = 20.0
+    # -- query workload ------------------------------------------------
+    #: virtual seconds of churn before the first query
+    warmup: float = 60.0
+    num_queries: int = 18
+    #: virtual seconds between consecutive queries
+    query_interval: float = 30.0
+    #: ``"local"`` / ``"iterative"`` / ``"recursive"`` / ``"engine"``
+    strategy: str = "iterative"
+    max_hops: int = 8
+
+
+@dataclass
+class ScenarioReport:
+    """What one scenario run measured."""
+
+    spec: ScenarioSpec
+    queries_issued: int = 0
+    #: queries whose protocol completed (no query-level timeout)
+    queries_complete: int = 0
+    #: mean per-query recall against ground truth
+    recall: float = 0.0
+    per_query_recall: list[float] = field(default_factory=list)
+    latency_p50: float = 0.0
+    latency_p90: float = 0.0
+    latency_p99: float = 0.0
+    #: messages attributed to the query workload (exact, per-operation)
+    query_messages: int = 0
+    #: all messages on the network, background traffic included
+    total_messages: int = 0
+    messages_dropped: int = 0
+    failures: int = 0
+    recoveries: int = 0
+    #: retries that steered away from a dead first hop
+    failovers: int = 0
+    #: overlay operations that exhausted every retry
+    ops_gave_up: int = 0
+    #: engine statistics snapshot (``strategy == "engine"`` only)
+    engine_stats: dict | None = None
+
+    def summary(self) -> list[str]:
+        """Human-readable report lines (CLI / bench output)."""
+        lines = [
+            f"queries  : {self.queries_complete}/{self.queries_issued} "
+            f"complete, mean recall {self.recall:.3f}",
+            f"latency  : p50 {self.latency_p50:.2f}s  "
+            f"p90 {self.latency_p90:.2f}s  p99 {self.latency_p99:.2f}s "
+            f"(simulated)",
+            f"messages : {self.query_messages} attributed to queries, "
+            f"{self.total_messages} total on the wire, "
+            f"{self.messages_dropped} dropped",
+            f"churn    : {self.failures} failures, "
+            f"{self.recoveries} recoveries",
+            f"failover : {self.failovers} replica failovers, "
+            f"{self.ops_gave_up} operations gave up",
+        ]
+        if self.engine_stats is not None:
+            cache = self.engine_stats["cache"]
+            lines.append(
+                f"engine   : {cache['hits']}/{cache['lookups']} plan-cache "
+                f"hits, {self.engine_stats['planner_invocations']} "
+                f"planner run(s)"
+            )
+        return lines
+
+
+def ground_truth_panel(dataset: BioDataset,
+                       needles: tuple[str, ...]) -> Panel:
+    """Recall panel: semantic queries in the first schema's vocabulary
+    with full-corpus ground truth per query.
+
+    A query's truth set contains every ``Schema:Accession`` subject
+    whose organism value contains the needle — answers scattered
+    across *all* schemas, reachable only through reformulation."""
+    workload = QueryWorkloadGenerator(dataset, seed=7)
+    panel: Panel = []
+    for needle in needles:
+        query = workload.concept_query(dataset.schemas[0].name,
+                                       "organism", needle)
+        truth = {
+            f"{schema.name}:{entity.accession}"
+            for schema in dataset.schemas
+            for entity in dataset.coverage[schema.name]
+            if needle in entity.value("organism")
+        }
+        panel.append((query, truth))
+    return panel
+
+
+class ScenarioRunner:
+    """Executes one :class:`ScenarioSpec` against a deployment.
+
+    Parameters
+    ----------
+    network:
+        The deployment to exercise (build one with :meth:`from_spec`
+        to get the corpus and recall panel set up automatically).
+    panel:
+        ``(query, ground-truth subjects)`` pairs; queries are issued
+        round-robin.
+    spec:
+        The scenario script (deployment fields are ignored when the
+        network is supplied ready-made).
+    origin:
+        Node id issuing every query; protected from churn.  Defaults
+        to the first peer id.
+    domain:
+        Mapping domain, needed for the ``"engine"`` strategy's mirror
+        backfill.
+    """
+
+    def __init__(self, network: "GridVineNetwork", panel: Panel,
+                 spec: ScenarioSpec | None = None,
+                 origin: str | None = None,
+                 domain: str = "default") -> None:
+        if not panel:
+            raise ValueError("scenario needs a non-empty query panel")
+        self.network = network
+        self.panel = panel
+        self.spec = spec if spec is not None else ScenarioSpec()
+        self.origin = origin if origin is not None else network.peer_ids()[0]
+        self.domain = domain
+        self.dataset: BioDataset | None = None
+
+    # ------------------------------------------------------------------
+    # Construction from a spec
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "ScenarioRunner":
+        """Build corpus + deployment + recall panel from ``spec``.
+
+        Ground-truth mappings form a bidirectional chain
+        ``S0 <-> S1 <-> ... `` (unless ``selforg_rounds`` asks the
+        self-organization loop to densify a sparse pairing instead),
+        so a healthy network can answer the whole panel and any recall
+        shortfall is attributable to churn.
+        """
+        from repro.mediation.network import GridVineNetwork
+
+        dataset = BioDatasetGenerator(
+            num_schemas=spec.num_schemas,
+            num_entities=spec.num_entities,
+            entities_per_schema=max(5, spec.num_entities // 5),
+            seed=spec.seed,
+        ).generate()
+        network = GridVineNetwork.build(
+            num_peers=spec.num_peers,
+            replication=spec.replication,
+            refs_per_level=spec.refs_per_level,
+            seed=spec.seed,
+            failover=spec.failover,
+        )
+        for schema in dataset.schemas:
+            network.insert_schema(schema)
+        network.insert_triples(dataset.triples)
+        names = [s.name for s in dataset.schemas]
+        if spec.selforg_rounds > 0:
+            # Sparse pairing; self-organization will densify it.
+            for i in range(0, len(names) - 1, 2):
+                network.insert_mapping(
+                    dataset.ground_truth_mapping(names[i], names[i + 1]))
+        else:
+            for a, b in zip(names, names[1:]):
+                network.insert_mapping(dataset.ground_truth_mapping(a, b),
+                                       bidirectional=True)
+        network.settle()
+        runner = cls(network, ground_truth_panel(dataset, spec.needles),
+                     spec, domain=dataset.domain)
+        runner.dataset = dataset
+        return runner
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScenarioReport:
+        """Run the scripted scenario; returns its report."""
+        spec = self.spec
+        net = self.network
+        loop = net.loop
+        # Baselines, so repeated runs on the same deployment report
+        # per-run deltas instead of lifetime cumulative counters.
+        metrics = net.network.metrics
+        messages_before = metrics.messages_sent
+        dropped_before = metrics.messages_dropped
+        failover_before = sum(p.failover_stats["failovers"]
+                              for p in net.peers.values())
+        gave_up_before = sum(p.failover_stats["gave_up"]
+                             for p in net.peers.values())
+        if spec.selforg_rounds > 0:
+            from repro.selforg import (
+                CreationPolicy,
+                SelfOrganizationController,
+            )
+            controller = SelfOrganizationController(
+                net, domain=self.domain,
+                policy=CreationPolicy(mappings_per_round=3),
+            )
+            controller.run(max_rounds=spec.selforg_rounds)
+        engine = None
+        if spec.strategy == "engine":
+            engine = net.create_engine(domain=self.domain,
+                                       max_hops=spec.max_hops)
+        maintenance = None
+        if spec.maintenance:
+            maintenance = MaintenanceProcess(
+                net.peers,
+                interval=spec.maintenance_interval,
+                # Repair toward the deployment's own redundancy target
+                # (spec.refs_per_level only shapes from_spec builds).
+                refs_per_level=getattr(net, "refs_per_level",
+                                       spec.refs_per_level),
+                rng=random.Random(spec.seed + 101),
+            )
+            maintenance.start()
+        churn = None
+        if spec.churn:
+            churn = ChurnProcess(
+                net.network,
+                mean_uptime=spec.mean_uptime,
+                mean_downtime=spec.mean_downtime,
+                rng=random.Random(spec.seed + 202),
+                protected={self.origin},
+            )
+            churn.start()
+        loop.run_until(loop.now + spec.warmup)
+
+        report = ScenarioReport(spec=spec)
+        latencies: list[float] = []
+        for index in range(spec.num_queries):
+            query, truth = self.panel[index % len(self.panel)]
+            if engine is not None:
+                outcome = engine.search_for(query, origin=self.origin)
+            else:
+                outcome = net.search_for(query, strategy=spec.strategy,
+                                         max_hops=spec.max_hops,
+                                         origin=self.origin)
+            report.queries_issued += 1
+            if outcome.complete:
+                report.queries_complete += 1
+            hits = {str(row[0]).strip("<>") for row in outcome.results}
+            if truth:
+                report.per_query_recall.append(len(hits & truth)
+                                               / len(truth))
+            latencies.append(outcome.latency)
+            report.query_messages += outcome.messages
+            loop.run_until(loop.now + spec.query_interval)
+        if churn is not None:
+            churn.stop()
+        if maintenance is not None:
+            maintenance.stop()
+
+        if report.per_query_recall:
+            report.recall = (sum(report.per_query_recall)
+                             / len(report.per_query_recall))
+        if latencies:
+            report.latency_p50 = percentile(latencies, 50)
+            report.latency_p90 = percentile(latencies, 90)
+            report.latency_p99 = percentile(latencies, 99)
+        report.total_messages = metrics.messages_sent - messages_before
+        report.messages_dropped = (metrics.messages_dropped
+                                   - dropped_before)
+        if churn is not None:
+            report.failures = churn.failures
+            report.recoveries = churn.recoveries
+            churn.assert_consistent()
+        report.failovers = sum(p.failover_stats["failovers"]
+                               for p in net.peers.values()) - failover_before
+        report.ops_gave_up = sum(p.failover_stats["gave_up"]
+                                 for p in net.peers.values()) - gave_up_before
+        if engine is not None:
+            report.engine_stats = engine.stats.snapshot()
+        return report

@@ -5,12 +5,25 @@ consistency and are efficient even in highly unreliable, dynamic
 environments" (§2.1).  The churn process lets benchmarks exercise this:
 it toggles nodes offline for exponentially distributed outages at an
 exponentially distributed rate.
+
+Lifecycle semantics
+-------------------
+``start`` / ``stop`` may be cycled freely.  Every ``start`` opens a new
+*epoch*; failure events scheduled in earlier epochs are stale and never
+fire, so a restart cannot double-schedule a node's failure chain.
+Pending *recoveries* survive a stop (a node taken offline is always
+brought back), and a recovery that fires while the process is running
+re-enters the node into the failure schedule exactly once.  ``_fail``
+and ``_recover`` are idempotent: a node already offline is never
+re-failed (no inflated ``failures`` count), a node already online is
+never re-recovered.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.simnet.events import SimulationError
 from repro.simnet.network import SimNetwork
 
 
@@ -48,35 +61,100 @@ class ChurnProcess:
         self.protected = protected or set()
         self.failures = 0
         self.recoveries = 0
+        #: failed nodes we could not recover (departed the network or
+        #: were toggled back online externally while down)
+        self.orphaned = 0
         self._running = False
+        #: bumped on every start(); scheduled failures carry the epoch
+        #: they were created in and refuse to fire once it is stale
+        self._epoch = 0
+        #: nodes this process took offline and owes a recovery
+        self._down: set[str] = set()
+
+    def currently_down(self) -> set[str]:
+        """Nodes this process has taken offline and not yet recovered."""
+        return set(self._down)
+
+    def assert_consistent(self) -> None:
+        """Raise unless the bookkeeping matches the network state.
+
+        Invariants: every failure is paired with a recovery, is still
+        pending one, or was orphaned by an external membership /
+        liveness change — ``failures == recoveries +
+        len(currently_down()) + orphaned`` — and every node we hold
+        down is actually offline.
+        """
+        if self.failures != (self.recoveries + len(self._down)
+                             + self.orphaned):
+            raise SimulationError(
+                f"churn bookkeeping skew: {self.failures} failures != "
+                f"{self.recoveries} recoveries + {len(self._down)} down "
+                f"+ {self.orphaned} orphaned"
+            )
+        for node_id in self._down:
+            if node_id in self.network and self.network.is_online(node_id):
+                raise SimulationError(
+                    f"node {node_id!r} is online but marked down by churn"
+                )
 
     def start(self) -> None:
-        """Schedule the first failure for every unprotected node."""
+        """(Re)start churn: schedule a failure for every unprotected
+        node that is currently online.
+
+        Nodes still offline from a previous run are *not* re-failed;
+        their pending recovery re-enrols them when it fires.
+        """
         self._running = True
+        self._epoch += 1
         for node_id in self.network.node_ids():
-            if node_id not in self.protected:
-                self._schedule_failure(node_id)
+            if node_id in self.protected:
+                continue
+            if not self.network.is_online(node_id):
+                continue
+            self._schedule_failure(node_id)
 
     def stop(self) -> None:
-        """Stop generating new churn events (in-flight ones still fire)."""
+        """Stop generating new failures.
+
+        Scheduled failures die quietly (their epoch check fails on a
+        later restart, and ``_running`` blocks them meanwhile); pending
+        recoveries still fire so no node is stranded offline.
+        """
         self._running = False
 
     def _schedule_failure(self, node_id: str) -> None:
         delay = self.rng.expovariate(1.0 / self.mean_uptime)
-        self.network.loop.schedule(delay, self._fail, node_id)
+        self.network.loop.schedule(delay, self._fail, node_id, self._epoch)
 
-    def _fail(self, node_id: str) -> None:
-        if not self._running or node_id not in self.network:
+    def _fail(self, node_id: str, epoch: int) -> None:
+        if epoch != self._epoch or not self._running:
+            return  # stale event from before a stop()/start() cycle
+        if node_id not in self.network:
+            return
+        if not self.network.is_online(node_id):
+            # Already offline (taken down externally, or a duplicate
+            # event): failing an offline node is a no-op, never a
+            # second counted failure.
             return
         self.network.set_online(node_id, False)
+        self._down.add(node_id)
         self.failures += 1
         delay = self.rng.expovariate(1.0 / self.mean_downtime)
         self.network.loop.schedule(delay, self._recover, node_id)
 
     def _recover(self, node_id: str) -> None:
+        if node_id not in self._down:
+            return  # not ours (or already recovered): idempotent
+        self._down.discard(node_id)
         if node_id not in self.network:
-            return
+            self.orphaned += 1
+            return  # departed while offline
+        if self.network.is_online(node_id):
+            self.orphaned += 1
+            return  # externally recovered meanwhile
         self.network.set_online(node_id, True)
         self.recoveries += 1
         if self._running:
+            # Re-enrol under the *current* epoch: exactly one failure
+            # chain per node, even across stop()/start() cycles.
             self._schedule_failure(node_id)

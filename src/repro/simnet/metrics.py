@@ -21,14 +21,38 @@ class NetworkMetrics:
     #: shipped tuples; see bench E12)
     values_shipped: int = 0
     messages_by_kind: dict[str, int] = field(default_factory=dict)
+    #: message counts for *tracked* operations only (see
+    #: :meth:`begin_operation`) — exact per-operation attribution even
+    #: with concurrent background traffic on the same network
+    operations: dict[str, int] = field(default_factory=dict)
+
+    def begin_operation(self, op_tag: str) -> None:
+        """Start counting messages attributed to ``op_tag``.
+
+        Only operations registered here are counted (the set of live
+        tags stays bounded: callers pop the counter with
+        :meth:`end_operation` when the operation resolves).
+        """
+        self.operations[op_tag] = 0
+
+    def end_operation(self, op_tag: str) -> int:
+        """Stop tracking ``op_tag`` and return its message count."""
+        return self.operations.pop(op_tag, 0)
+
+    def operation_messages(self, op_tag: str) -> int:
+        """Current message count of a tracked operation (0 if unknown)."""
+        return self.operations.get(op_tag, 0)
 
     def record_send(self, kind: str, latency: float,
-                    values_count: int = 0) -> None:
+                    values_count: int = 0,
+                    op_tag: str | None = None) -> None:
         """Account for one delivered message."""
         self.messages_sent += 1
         self.total_latency += latency
         self.values_shipped += values_count
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+        if op_tag is not None and op_tag in self.operations:
+            self.operations[op_tag] += 1
 
     def record_drop(self, kind: str) -> None:
         """Account for one message dropped (offline destination)."""
@@ -54,9 +78,16 @@ class NetworkMetrics:
         }
 
     def reset(self) -> None:
-        """Zero all counters (e.g. after a warm-up phase)."""
+        """Zero all counters (e.g. after a warm-up phase).
+
+        Tracked operation counters restart at zero but stay tracked —
+        an operation spanning the reset keeps attributing its later
+        messages.
+        """
         self.messages_sent = 0
         self.messages_dropped = 0
         self.total_latency = 0.0
         self.values_shipped = 0
         self.messages_by_kind.clear()
+        for op_tag in self.operations:
+            self.operations[op_tag] = 0

@@ -10,8 +10,9 @@ retries, exactly as over a real WAN).
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.simnet.events import EventLoop, SimulationError
 from repro.simnet.latency import ConstantLatency, LatencyModel
@@ -33,6 +34,11 @@ class Message:
     payload: dict[str, Any] = field(default_factory=dict)
     hops: int = 0
     sent_at: float = 0.0
+    #: attribution tag of the logical operation this message belongs
+    #: to; filled from the network's active operation scope when left
+    #: ``None`` and inherited by every message sent while handling the
+    #: delivery (forwards, replies, replica fan-out)
+    op_tag: str | None = None
 
 
 class Node:
@@ -99,6 +105,33 @@ class SimNetwork:
         self.rng = rng if rng is not None else random.Random(0)
         self.metrics = NetworkMetrics()
         self._nodes: dict[str, Node] = {}
+        #: stack of active attribution scopes (see :meth:`operation`)
+        self._op_stack: list[str] = []
+
+    # -- per-operation attribution -------------------------------------
+
+    def current_operation(self) -> str | None:
+        """The attribution tag of the innermost active scope, if any."""
+        return self._op_stack[-1] if self._op_stack else None
+
+    @contextmanager
+    def operation(self, op_tag: str) -> Iterator[None]:
+        """Attribute messages sent inside this scope to ``op_tag``.
+
+        The tag sticks to the messages themselves, so the attribution
+        follows the *causal chain*: handling a tagged delivery re-opens
+        the scope, and any forwards, replies or replica pushes sent
+        from the handler inherit the tag.  Concurrent background
+        traffic (maintenance ticks, churn) runs outside any scope and
+        stays unattributed — this is what makes per-query message
+        counts exact under churn (see
+        :meth:`~repro.simnet.metrics.NetworkMetrics.begin_operation`).
+        """
+        self._op_stack.append(op_tag)
+        try:
+            yield
+        finally:
+            self._op_stack.pop()
 
     # -- membership ----------------------------------------------------
 
@@ -148,6 +181,8 @@ class SimNetwork:
         relying on silent success.
         """
         message.sent_at = self.loop.now
+        if message.op_tag is None:
+            message.op_tag = self.current_operation()
         dst_node = self._nodes.get(message.dst)
         if dst_node is None or not dst_node.online:
             self.metrics.record_drop(message.kind)
@@ -155,7 +190,8 @@ class SimNetwork:
         delay = self.latency.sample(message.src, message.dst, self.rng)
         values = message.payload.get("values")
         values_count = len(values) if isinstance(values, (list, set)) else 0
-        self.metrics.record_send(message.kind, delay, values_count)
+        self.metrics.record_send(message.kind, delay, values_count,
+                                 op_tag=message.op_tag)
         self.loop.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
@@ -164,4 +200,10 @@ class SimNetwork:
             # Destination went offline while the message was in flight.
             self.metrics.record_drop(message.kind)
             return
-        node.on_message(message)
+        if message.op_tag is not None:
+            # Re-open the scope so messages sent by the handler inherit
+            # the delivered message's attribution.
+            with self.operation(message.op_tag):
+                node.on_message(message)
+        else:
+            node.on_message(message)

@@ -1,0 +1,25 @@
+"""Shared Hypothesis strategies and settings profiles for the suite.
+
+Import the tiered settings from here::
+
+    from strategies import STANDARD_SETTINGS
+
+(test modules live in a rootdir-anchored sys.path, like the
+benchmarks' ``from conftest import ...``).
+"""
+
+from strategies.settings import (
+    DETERMINISM_SETTINGS,
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+    STATE_MACHINE_SETTINGS,
+)
+
+__all__ = [
+    "DETERMINISM_SETTINGS",
+    "QUICK_SETTINGS",
+    "SLOW_SETTINGS",
+    "STANDARD_SETTINGS",
+    "STATE_MACHINE_SETTINGS",
+]

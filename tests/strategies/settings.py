@@ -1,0 +1,27 @@
+"""Standardized Hypothesis settings profiles for property tests.
+
+Tiers (example counts scale with how cheap one example is):
+
+- ``DETERMINISM_SETTINGS``: 500 examples — hash/canonicalization
+  invariants where a single counterexample would break bit-for-bit
+  reproducibility.
+- ``STATE_MACHINE_SETTINGS``: 200 examples — rule-based stateful
+  tests.
+- ``STANDARD_SETTINGS``: 100 examples — regular property tests.
+- ``SLOW_SETTINGS``: 50 examples — tests that build real overlays or
+  run short simulations per example.
+- ``QUICK_SETTINGS``: 20 examples — fast validation-only checks.
+
+Deadlines are disabled across the board: examples that run a
+discrete-event simulation have wall-clock costs unrelated to their
+correctness, and the default 200 ms deadline turns them flaky on
+loaded CI machines.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500, deadline=None)
+STATE_MACHINE_SETTINGS = settings(max_examples=200, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+SLOW_SETTINGS = settings(max_examples=50, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)

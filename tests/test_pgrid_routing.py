@@ -162,7 +162,45 @@ class TestChurnResilience:
             overlay.network.set_online(owner, False)
         result = overlay.retrieve_sync(origin, key)
         assert not result.success
+        # base attempts (max_retries + 1) plus the failover budget
+        # granted while untried first-hop alternates remain
+        peer = overlay.peer(origin)
+        assert 2 <= result.attempts <= 2 + peer.failover_retries
+
+    def test_failure_attempts_exact_without_failover(self):
+        overlay = build(8, timeout=2.0, max_retries=1)
+        for peer in overlay.peers.values():
+            peer.failover = False
+        key = uniform_hash("lost")
+        origin = overlay.peer_ids()[0]
+        overlay.update_sync(origin, key, "v")
+        owners = overlay.responsible_peers(key)
+        if origin in owners:
+            pytest.skip("origin owns the key; cannot simulate loss")
+        for owner in owners:
+            overlay.network.set_online(owner, False)
+        result = overlay.retrieve_sync(origin, key)
+        assert not result.success
         assert result.attempts == 2
+
+    def test_failover_skips_dead_reference_at_every_hop(self):
+        """With failover on, a retrieve succeeds as long as one replica
+        of every subtree on the path is alive: dead references are
+        skipped at forwarding time instead of eating a timeout."""
+        overlay = build(24, replication=3, timeout=5.0, max_retries=1)
+        origin = overlay.peer_ids()[0]
+        key = uniform_hash("precious")
+        overlay.update_sync(origin, key, "v")
+        overlay.loop.run_until_idle()
+        owners = overlay.responsible_peers(key)
+        if origin in owners:
+            pytest.skip("origin owns the key; cannot simulate loss")
+        # Kill all but one owner: failover must find the survivor.
+        for owner in owners[:-1]:
+            overlay.network.set_online(owner, False)
+        result = overlay.retrieve_sync(origin, key)
+        assert result.success
+        assert "v" in result.values
 
 
 class TestLoadBalancing:

@@ -209,3 +209,83 @@ class TestChurn:
         net.loop.run_until(40.0)
         # one in-flight failure may land; no sustained churn after stop
         assert churn.failures <= count + 1
+
+
+class TestChurnRestart:
+    """stop()/start() cycles and fail/recover idempotency."""
+
+    def _churned_net(self, nodes=8, seed=13):
+        net = make_net()
+        for i in range(nodes):
+            net.attach(Recorder(f"n{i}"))
+        churn = ChurnProcess(net, mean_uptime=5.0, mean_downtime=10.0,
+                             rng=random.Random(seed))
+        return net, churn
+
+    def test_restart_does_not_refail_offline_nodes(self):
+        """A stop()/start() cycle must not schedule failures for nodes
+        that are still offline (the historical double-failure bug)."""
+        net, churn = self._churned_net()
+        churn.start()
+        net.loop.run_until(30.0)
+        churn.stop()
+        down_at_restart = churn.currently_down()
+        assert down_at_restart  # long downtimes: someone is offline
+        churn.start()
+        net.loop.run_until(200.0)
+        churn.stop()
+        churn.assert_consistent()
+
+    def test_bookkeeping_consistent_under_restart_storm(self):
+        net, churn = self._churned_net()
+        for cycle in range(6):
+            churn.start()
+            net.loop.run_until(net.loop.now + 17.0)
+            churn.stop()
+            net.loop.run_until(net.loop.now + 3.0)
+            churn.assert_consistent()
+        # drain pending recoveries: every failure is eventually paired
+        net.loop.run_until(net.loop.now + 500.0)
+        churn.assert_consistent()
+        assert churn.failures == churn.recoveries
+        assert all(net.is_online(n) for n in net.node_ids())
+
+    def test_fail_is_idempotent_on_already_offline_node(self):
+        net, churn = self._churned_net(nodes=1)
+        net.set_online("n0", False)  # external failure
+        churn._running = True
+        churn._fail("n0", churn._epoch)
+        assert churn.failures == 0  # no double-counted failure
+        assert churn.currently_down() == set()
+
+    def test_recover_is_idempotent(self):
+        net, churn = self._churned_net(nodes=1)
+        churn._running = True
+        churn._fail("n0", churn._epoch)
+        assert churn.failures == 1
+        churn._recover("n0")
+        churn._recover("n0")  # duplicate event
+        assert churn.recoveries == 1
+        assert net.is_online("n0")
+        churn.assert_consistent()
+
+    def test_stale_epoch_failure_never_fires(self):
+        net, churn = self._churned_net(nodes=1)
+        churn.start()
+        stale_epoch = churn._epoch
+        churn.stop()
+        churn.start()  # bumps the epoch
+        churn._fail("n0", stale_epoch)
+        assert churn.failures == 0
+
+    def test_recovery_survives_stop(self):
+        """Nodes taken offline are never stranded: pending recoveries
+        fire even after stop()."""
+        net, churn = self._churned_net()
+        churn.start()
+        net.loop.run_until(30.0)
+        churn.stop()
+        assert churn.currently_down()
+        net.loop.run_until(500.0)
+        assert not churn.currently_down()
+        assert all(net.is_online(n) for n in net.node_ids())

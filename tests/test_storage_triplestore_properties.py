@@ -1,0 +1,80 @@
+"""Property tests for :class:`TripleStore.match` binding dedup.
+
+``match`` deduplicates equal binding dicts (the same bindings can be
+produced by several LIKE matches) through a sorted ``(name, repr)``
+key.  The property under test: deduplication may only merge *equal*
+bindings — it must never drop a distinct one, and the surviving list
+must be duplicate-free.  The reference semantics is the brute-force
+evaluation over every stored triple.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+from strategies import QUICK_SETTINGS, STANDARD_SETTINGS
+
+from repro.rdf.patterns import TriplePattern
+from repro.rdf.terms import Literal, URI, Variable
+from repro.rdf.triples import Triple
+from repro.storage.triplestore import TripleStore
+
+# Small pools on purpose: collisions (same subject, same value, URI vs
+# Literal with identical text) are exactly where dedup could go wrong.
+_NAMES = ["a", "b", "ab", "%a%", "a%"]
+
+uris = st.sampled_from(_NAMES).map(URI)
+literals = st.sampled_from(_NAMES).map(Literal)
+ground_terms = st.one_of(uris, literals)
+variables = st.sampled_from(["x", "y"]).map(Variable)
+
+triples = st.builds(Triple, uris, uris, ground_terms)
+# Subject/predicate slots admit URIs or variables; only the object
+# slot may hold (LIKE-)literals — mirroring TriplePattern's contract.
+node_terms = st.one_of(uris, variables)
+object_terms = st.one_of(ground_terms, variables)
+patterns = st.builds(TriplePattern, node_terms, node_terms,
+                     object_terms)
+
+
+def brute_force_bindings(store, pattern):
+    """Reference: distinct bindings by *dict equality* over all triples."""
+    distinct = []
+    for triple in store.all_triples():
+        bindings = pattern.matches(triple)
+        if bindings is not None and bindings not in distinct:
+            distinct.append(bindings)
+    return distinct
+
+
+class TestMatchDedupProperty:
+    @STANDARD_SETTINGS
+    @given(st.lists(triples, max_size=12), patterns)
+    def test_dedup_never_drops_distinct_bindings(self, triple_list,
+                                                 pattern):
+        store = TripleStore()
+        store.add_all(triple_list)
+        got = store.match(pattern)
+        if not pattern.variables():
+            # Boolean semantics: [{}] iff any triple matches.
+            expected = ([{}] if any(pattern.matches(t) is not None
+                                    for t in triple_list) else [])
+            assert got == expected
+            return
+        reference = brute_force_bindings(store, pattern)
+        # Every distinct binding survives dedup ...
+        for binding in reference:
+            assert binding in got
+        # ... and nothing is duplicated or invented.
+        assert len(got) == len(reference)
+        for binding in got:
+            assert binding in reference
+
+    @QUICK_SETTINGS
+    @given(st.lists(triples, max_size=8))
+    def test_full_wildcard_returns_one_binding_per_triple(self,
+                                                          triple_list):
+        store = TripleStore()
+        store.add_all(triple_list)
+        pattern = TriplePattern(Variable("x"), Variable("y"),
+                                Variable("z"))
+        got = store.match(pattern)
+        assert len(got) == len(brute_force_bindings(store, pattern))
