@@ -22,13 +22,23 @@ GridVine Peer Data Management System* (Cudré-Mauroux et al., VLDB
     self-organizing loop (connectivity indicator, automatic mapping
     creation, Bayesian mapping deprecation).
 
+``repro.exec``
+    The *streaming operator runtime*: every query executes as a DAG
+    of small operators (scans, hash/bound joins, reformulation
+    fan-out, project/dedup/union, limit) through which binding
+    batches stream as they arrive.  Result limits are pushed into
+    distributed execution — a satisfied ``Limit`` cooperatively
+    cancels all remaining fetches and fan-out, so selective queries
+    stop spending messages the moment they have enough answers.
+
 ``repro.engine``
     The *query engine* on top of the mediation layer: an
     invalidation-aware cache of reformulation plans (keyed by
     structural query signature and mapping-graph version) and a
-    batched multi-query executor that deduplicates shared triple-
-    pattern lookups across a batch — the hot-path optimisation for
-    repeated / multi-user query traffic.
+    batched multi-query executor that runs whole batches as one
+    shared-scan operator DAG, deduplicating triple-pattern lookups
+    across the batch — the hot-path optimisation for repeated /
+    multi-user query traffic.
 
 ``repro.resilience``
     Scripted churn scenarios on top of everything above: compose

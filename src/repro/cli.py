@@ -9,7 +9,10 @@ booth:
 
 ``query``
     Deploy the bioinformatic corpus and run one ``SearchFor`` query
-    under a chosen strategy, printing results and cost.
+    under a chosen strategy, printing results and cost.  ``--limit``
+    is pushed into the distributed execution (limit pushdown): the
+    streaming pipeline cancels its remaining fan-out once enough
+    distinct rows arrived, and the report shows what that saved.
 
 ``batch``
     Run a repeated-query workload through the query engine
@@ -62,6 +65,8 @@ _EXPERIMENTS = [
      "bench_e13_plan_cache.py"),
     ("E14", "churn recall with replica failover on/off",
      "bench_e14_churn_recall.py"),
+    ("E15", "limit pushdown: messages saved by early stop",
+     "bench_e15_limit_pushdown.py"),
 ]
 
 
@@ -120,6 +125,7 @@ def cmd_query(args) -> int:
     except ParseError as exc:
         print(f"query does not parse: {exc}", file=sys.stderr)
         return 2
+    limit = args.limit if args.limit > 0 else None
     net, dataset = _deploy(args)
     controller = SelfOrganizationController(
         net, domain=dataset.domain,
@@ -127,19 +133,31 @@ def cmd_query(args) -> int:
     controller.run(max_rounds=args.rounds)
     if args.strategy == "engine":
         engine = net.create_engine(domain=dataset.domain, max_hops=8)
-        outcome = engine.search_for(query)
+        outcome = engine.search_for(query, limit=limit)
     else:
-        outcome = net.search_for(query, strategy=args.strategy, max_hops=8)
+        outcome = net.search_for(query, strategy=args.strategy, max_hops=8,
+                                 limit=limit)
     print(f"query    : {query}")
-    print(f"strategy : {args.strategy}")
+    strategy_note = "" if limit is None else f", limit {limit} pushed down"
+    print(f"strategy : {args.strategy}{strategy_note}")
     print(f"results  : {outcome.result_count}")
-    for row in outcome.sorted_results()[:args.limit]:
+    for row in outcome.sorted_results():
         print("  " + ", ".join(str(t) for t in row))
-    if outcome.result_count > args.limit:
-        print(f"  ... and {outcome.result_count - args.limit} more")
     print(f"latency  : {outcome.latency:.2f}s (simulated), "
           f"{outcome.messages} messages, "
           f"{outcome.reformulations_explored} reformulation(s)")
+    if limit is not None:
+        if outcome.limit_hit:
+            print(f"early stop: limit reached after "
+                  f"{outcome.first_result_latency:.2f}s to first result; "
+                  f"cancelled remaining fan-out "
+                  f"({outcome.fetches_skipped} planned fetches skipped, "
+                  f"~{outcome.estimated_messages_saved} messages saved; "
+                  f"{outcome.rows_after_cancel} late rows discarded)")
+        else:
+            print(f"early stop: limit {limit} not reached "
+                  f"({outcome.result_count} total results); "
+                  f"full fan-out executed")
     if outcome.result_count == 0:
         sample = sorted(
             str(schema.predicate(attr))
@@ -202,6 +220,7 @@ def cmd_scenario(args) -> int:
         mean_downtime=args.downtime,
         num_queries=args.queries,
         strategy=args.strategy,
+        limit=args.limit if args.limit > 0 else None,
     )
     print(f"scenario: {spec.num_peers} peers (replication "
           f"{spec.replication}), {spec.num_schemas} schemas, "
@@ -256,7 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "peers reformulate; engine: cached plans "
                             "+ batched execution")
     query.add_argument("--limit", type=int, default=10,
-                       help="max result rows to print")
+                       help="result-row cap pushed into distributed "
+                            "execution (limit pushdown): the query "
+                            "stops spending messages once this many "
+                            "distinct rows arrived; 0 = unlimited")
     _add_deploy_args(query)
     query.set_defaults(func=cmd_query)
 
@@ -290,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--strategy", default="iterative",
                           choices=["local", "iterative", "recursive",
                                    "engine"])
+    scenario.add_argument("--limit", type=int, default=0,
+                          help="per-query result cap pushed into "
+                               "execution (0 = unlimited)")
     scenario.add_argument("--no-failover", action="store_true",
                           help="disable replica-aware failover (A/B "
                                "baseline)")

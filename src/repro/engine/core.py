@@ -61,6 +61,10 @@ class EngineStats:
     patterns_fetched: int = 0
     #: network messages attributed to engine execution
     messages: int = 0
+    #: queries whose result limit was reached (limit pushdown)
+    limits_hit: int = 0
+    #: shared scans never started because limits stopped their batch
+    scans_skipped: int = 0
     cache: PlanCacheStats = field(default_factory=PlanCacheStats)
 
     @property
@@ -84,6 +88,8 @@ class EngineStats:
             "lookups_saved": self.lookups_saved,
             "dedup_rate": self.dedup_rate,
             "messages": self.messages,
+            "limits_hit": self.limits_hit,
+            "scans_skipped": self.scans_skipped,
             "cache": self.cache.snapshot(),
         }
 
@@ -99,6 +105,13 @@ class BatchResult:
     patterns_total: int
     #: network messages measured for this batch
     messages: int
+    #: shared scans actually started (== ``patterns_fetched`` when no
+    #: limit stopped the batch early)
+    scans_issued: int = 0
+    #: shared scans never started because every query's limit was met
+    scans_skipped: int = 0
+    #: queries whose result limit was reached
+    limits_hit: int = 0
 
     @property
     def lookups_saved(self) -> int:
@@ -184,28 +197,37 @@ class QueryEngine:
 
     def search_for(self, query: ConjunctiveQuery | str,
                    max_hops: int | None = None,
-                   origin: str | None = None) -> QueryOutcome:
+                   origin: str | None = None,
+                   limit: int | None = None) -> QueryOutcome:
         """Resolve one query through the engine (strategy ``"engine"``).
 
         Accepts the paper's surface syntax like
         ``GridVineNetwork.search_for``; equivalent to a one-query
-        batch.
+        batch.  ``limit`` is pushed into the executor (wave-staged
+        fetching with cooperative early stop).
         """
         result = self.execute_batch([query], max_hops=max_hops,
-                                    origin=origin)
+                                    origin=origin, limit=limit)
         return result.outcomes[0]
 
     def execute_batch(self, queries: list[ConjunctiveQuery | str],
                       max_hops: int | None = None,
-                      origin: str | None = None) -> BatchResult:
+                      origin: str | None = None,
+                      limit: int | None = None) -> BatchResult:
         """Plan and run a batch of queries with shared pattern lookups.
 
         Every query is planned through the cache, the union of all
-        reformulations' patterns is deduplicated and fetched once, and
-        each query's joins run over the shared fetch results.  Joins
-        use the parallel mode (per-pattern fetch + origin-side join);
-        the bound-join mode trades per-query messages for shipped
-        volume and does not compose with cross-query sharing.
+        reformulations' patterns is deduplicated into shared scan
+        operators, and each query's joins run over the shared fetch
+        results.  Joins use the parallel mode (per-pattern fetch +
+        origin-side join); the bound-join mode trades per-query
+        messages for shipped volume and does not compose with
+        cross-query sharing.
+
+        ``limit`` caps every query's distinct result rows; scans then
+        start in waves by reformulation depth, and once each query has
+        enough rows the batch cancels its remaining fan-out
+        (:attr:`BatchResult.scans_skipped` reports the savings).
 
         Message accounting lives on the returned
         :attr:`BatchResult.messages`: shared lookups make per-query
@@ -227,7 +249,8 @@ class QueryEngine:
         metrics.begin_operation(op_tag)
         try:
             with self.network.network.operation(op_tag):
-                batch_future = execute_batch(peer, parsed, plans)
+                batch_future = execute_batch(peer, parsed, plans,
+                                             limit=limit)
             outcomes, fetch_stats = self.network.loop.run_until_complete(
                 batch_future
             )
@@ -241,9 +264,14 @@ class QueryEngine:
         self.stats.patterns_total += fetch_stats.patterns_total
         self.stats.patterns_fetched += fetch_stats.patterns_fetched
         self.stats.messages += messages
+        self.stats.limits_hit += fetch_stats.limits_hit
+        self.stats.scans_skipped += fetch_stats.scans_skipped
         return BatchResult(
             outcomes=outcomes,
             patterns_fetched=fetch_stats.patterns_fetched,
             patterns_total=fetch_stats.patterns_total,
             messages=messages,
+            scans_issued=fetch_stats.scans_issued,
+            scans_skipped=fetch_stats.scans_skipped,
+            limits_hit=fetch_stats.limits_hit,
         )

@@ -1,0 +1,529 @@
+"""The operator algebra: sources, joins, and streaming modifiers.
+
+Each class is one node type of the execution DAG (see
+:mod:`repro.exec.stream` for the streaming mechanics and
+:mod:`repro.exec.plans` for how strategies assemble them):
+
+* sources — :class:`PatternScan` (one overlay pattern fetch),
+  :class:`BoundJoin` (the sequential substituting join, which issues
+  its own fetches step by step), :class:`Reformulate` (the iterative
+  strategy's overlay-driven BFS over mapping paths, spawning one
+  subplan per reformulation) and :class:`RecursiveFanout` (the
+  origin-side accounting of the recursive strategy's delegated
+  reformulation protocol);
+* relational operators — :class:`HashJoin`, :class:`Project`,
+  :class:`Dedup`, :class:`Union`;
+* control — :class:`Limit` (limit pushdown: fires the pipeline's
+  cancel token the moment enough distinct rows have passed) and
+  :class:`Collect` (the sink resolving a future with a
+  :class:`~repro.mediation.query.QueryOutcome` or a bare row set).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.exec.bindings import (
+    dedup_bindings,
+    hash_join_bindings,
+    restore_variables,
+)
+from repro.exec.stream import Batch, Operator, PipelineContext
+from repro.mapping.unfolding import query_schemas, translate_query
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+from repro.rdf.triples import Position
+from repro.simnet.events import Future, gather
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediation.query import QueryOutcome
+
+
+def selectivity_rank(pattern: TriplePattern) -> tuple:
+    """Sort key: most selective pattern first.
+
+    Exact subjects pin a single resource; exact objects a value;
+    predicates an entire attribute extent.  More exact constants beat
+    fewer.
+    """
+    constants = pattern.constants()
+    return (
+        0 if Position.SUBJECT in constants else 1,
+        0 if Position.OBJECT in constants else 1,
+        0 if Position.PREDICATE in constants else 1,
+        str(pattern),
+    )
+
+
+class PatternScan(Operator):
+    """Fetch one triple pattern's bindings from the overlay.
+
+    Emits a single batch when the fetch resolves, then closes.  A scan
+    started after the pipeline was cancelled skips the fetch entirely
+    (zero messages) and emits nothing; :meth:`skip` lets a scheduler
+    close a never-started scan explicitly.
+    """
+
+    def __init__(self, pattern: TriplePattern, name: str | None = None
+                 ) -> None:
+        super().__init__(name if name is not None else f"scan{pattern}")
+        self.pattern = pattern
+
+    def start(self, ctx: PipelineContext) -> None:
+        ctx.fetch_pattern(self, self.pattern).add_done_callback(
+            self._on_rows)
+
+    def _on_rows(self, future: Future) -> None:
+        self.emit(future.result())
+        self.close()
+
+    def skip(self) -> None:
+        """Close without ever fetching (counted as a saved fetch)."""
+        if self._closed:
+            return
+        self.stats.fetches_skipped += 1
+        self.close()
+
+
+class HashJoin(Operator):
+    """N-ary natural join at the origin (the paper's parallel mode).
+
+    Buffers each input slot's bindings and, once every input has
+    closed, folds them left to right with
+    :func:`~repro.exec.bindings.hash_join_bindings` — slot order is
+    connect order, i.e. the query's pattern order.
+    """
+
+    def __init__(self, name: str = "hash-join") -> None:
+        super().__init__(name)
+        self._rows_by_slot: dict[int, list[dict]] = {}
+
+    def on_batch(self, batch: Batch, slot: int) -> None:
+        self._rows_by_slot.setdefault(slot, []).extend(batch.rows)
+
+    def on_finish(self) -> None:
+        joined: list[dict] = [{}]
+        for slot in range(self._input_slots):
+            joined = hash_join_bindings(
+                joined, self._rows_by_slot.get(slot, []))
+            if not joined:
+                break
+        self.emit(joined)
+
+
+class BoundJoin(Operator):
+    """Sequential bound join: substitute earlier bindings into later
+    patterns before fetching them.
+
+    A source operator (it issues its own overlay fetches): patterns
+    are ordered most-selective-first; at each step the distinct
+    substituted variants of the next pattern are fetched (capped at
+    ``fanout_cap`` variants — beyond that the unbound pattern is
+    cheaper) and joined into the running binding set.  Cancellation is
+    checked before every step, so a satisfied limit stops all
+    remaining fetches.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, fanout_cap: int) -> None:
+        super().__init__("bound-join")
+        self.query = query
+        self.fanout_cap = fanout_cap
+        self.ordered = sorted(query.patterns, key=selectivity_rank)
+        self._ctx: PipelineContext | None = None
+
+    def start(self, ctx: PipelineContext) -> None:
+        self._ctx = ctx
+        self._step(0, [{}])
+
+    def _step(self, index: int, joined: list[dict]) -> None:
+        ctx = self._ctx
+        assert ctx is not None
+        if index == len(self.ordered) or not joined:
+            self.emit(joined)
+            self.close()
+            return
+        if ctx.cancelled:
+            # The remaining patterns were never verified against these
+            # partial bindings, so no rows may be emitted.  Each
+            # skipped step would have fetched one variant per distinct
+            # substitution of the current bindings (capped), so count
+            # skips at that scale to keep the saved-messages estimate
+            # in the same units as fetches_issued.
+            per_step = max(1, min(len(joined), self.fanout_cap))
+            self.stats.fetches_skipped += (
+                per_step * (len(self.ordered) - index))
+            self.emit([])
+            self.close()
+            return
+        pattern = self.ordered[index]
+        variants: list[TriplePattern] = []
+        seen_variants: set[TriplePattern] = set()
+        for bindings in joined:
+            variant = pattern.substitute(bindings)
+            if variant not in seen_variants:
+                seen_variants.add(variant)
+                variants.append(variant)
+        if (len(variants) > self.fanout_cap
+                or any(not v.variables() for v in variants)):
+            # Too many variants (or fully ground ones, whose empty
+            # binding dicts would not join back): fetch unbound.
+            variants = [pattern]
+
+        def _on_fetched(future: Future) -> None:
+            fetched: list[dict] = []
+            seen_keys: set[tuple] = set()
+            for bindings_list, variant in zip(future.result(), variants):
+                restored = [restore_variables(pattern, variant, b)
+                            for b in bindings_list]
+                fetched.extend(dedup_bindings(restored, seen_keys))
+            self._step(index + 1, hash_join_bindings(joined, fetched))
+
+        gather([ctx.fetch_pattern(self, v) for v in variants]
+               ).add_done_callback(_on_fetched)
+
+
+class Union(Operator):
+    """Merge several streams (pass-through; closes when all inputs do)."""
+
+    def __init__(self, name: str = "union") -> None:
+        super().__init__(name)
+
+
+class Project(Operator):
+    """Project binding dicts onto the query's distinguished variables.
+
+    Emitted rows are tagged with the producing query — the provenance
+    :class:`Collect` uses for per-reformulation result attribution.
+    """
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        super().__init__("project")
+        self.query = query
+
+    def on_batch(self, batch: Batch, slot: int) -> None:
+        query = self.query
+        rows = [
+            query.project(b) for b in batch.rows
+            if all(v in b for v in query.distinguished)
+        ]
+        self.emit(rows, source=query)
+
+
+class Dedup(Operator):
+    """Drop rows already seen on this stream (order-preserving)."""
+
+    def __init__(self, name: str = "dedup") -> None:
+        super().__init__(name)
+        self.seen: set = set()
+
+    def on_batch(self, batch: Batch, slot: int) -> None:
+        fresh = []
+        for row in batch.rows:
+            if row not in self.seen:
+                self.seen.add(row)
+                fresh.append(row)
+        self.emit(fresh, batch.source)
+
+
+class Limit(Operator):
+    """Stop the stream after ``limit`` distinct rows (limit pushdown).
+
+    Rows count toward the limit once each (duplicates pass through
+    without counting, keeping per-reformulation attribution intact).
+    The moment the limit is reached the operator truncates the
+    current batch, stops accepting further input, and calls
+    ``on_satisfied`` — which in a single-query plan fires the
+    pipeline's cancel token, cooperatively stopping every upstream
+    fetch still pending.  ``limit=None`` is a pure pass-through.
+    """
+
+    def __init__(self, limit: int | None,
+                 on_satisfied: Callable[[], None] | None = None) -> None:
+        super().__init__("limit" if limit is None else f"limit[{limit}]")
+        self.limit = limit
+        self.on_satisfied = on_satisfied
+        self.satisfied = False
+        self.seen: set = set()
+        #: rows from batches arriving *after* satisfaction — true late
+        #: arrivals, as opposed to the same-batch overshoot that
+        #: triggered the limit (both count in ``stats.rows_dropped``)
+        self.late_rows = 0
+
+    def on_batch(self, batch: Batch, slot: int) -> None:
+        if self.limit is None:
+            self.emit(batch.rows, batch.source)
+            return
+        if self.satisfied:
+            self.stats.rows_dropped += len(batch.rows)
+            self.late_rows += len(batch.rows)
+            return
+        allowed: list = []
+        for position, row in enumerate(batch.rows):
+            if row in self.seen:
+                allowed.append(row)
+                continue
+            if len(self.seen) >= self.limit:
+                self.stats.rows_dropped += len(batch.rows) - position
+                break
+            self.seen.add(row)
+            allowed.append(row)
+        self.emit(allowed, batch.source)
+        if len(self.seen) >= self.limit and not self.satisfied:
+            self.satisfied = True
+            if self.on_satisfied is not None:
+                self.on_satisfied()
+
+
+class Collect(Operator):
+    """Sink: resolve a future with the stream's aggregated contents.
+
+    With an ``outcome``, every batch is recorded into it (per-source
+    attribution, first-result timestamp); without one, the future
+    resolves to the bare set of rows.  ``finalize`` (when set) runs
+    once, immediately before resolution — plans use it to stamp
+    latency and streaming statistics onto the outcome.
+    """
+
+    def __init__(self, ctx: PipelineContext,
+                 outcome: "QueryOutcome | None" = None) -> None:
+        super().__init__("collect")
+        self.ctx = ctx
+        self.outcome = outcome
+        self.future: Future = Future()
+        self.rows: set = set()
+        self.first_rows_at: float | None = None
+        self.finalize: Callable[[], None] | None = None
+
+    def on_batch(self, batch: Batch, slot: int) -> None:
+        if self.future.done:
+            # Late arrivals after an early (limit-driven) resolution.
+            self.stats.rows_dropped += len(batch.rows)
+            if self.outcome is not None:
+                self.outcome.rows_after_cancel += len(batch.rows)
+            return
+        if batch.rows and self.first_rows_at is None:
+            self.first_rows_at = self.ctx.now
+        if self.outcome is not None:
+            self.outcome.record(batch.source or self.outcome.query,
+                                set(batch.rows))
+        else:
+            self.rows |= set(batch.rows)
+
+    def on_finish(self) -> None:
+        self.resolve()
+
+    def resolve(self) -> None:
+        """Resolve the future now (idempotent; used for early stop)."""
+        if self.future.done:
+            return
+        if self.finalize is not None:
+            self.finalize()
+        self.future.set_result(
+            self.outcome if self.outcome is not None else self.rows)
+
+
+class Reformulate(Operator):
+    """The iterative strategy's overlay-driven reformulation fan-out.
+
+    The origin "iteratively looks for paths of mappings and
+    reformulates the query by itself" (§4): schema key spaces are
+    fetched to learn mappings, every distinct translation spawns one
+    execution subplan (via the ``spawn`` callback the plan builder
+    provides), and newly derived queries recurse up to ``max_hops``.
+
+    The operator emits no batches itself — the spawned subplans feed
+    the downstream union directly — but it holds its union input open
+    until the BFS settles, and its fetch counters carry the schema-
+    space lookups.  Cancellation stops new schema fetches; subplans
+    spawned after cancellation skip their scans (each skip is counted
+    where it happens, so the messages-saved accounting stays exact).
+    """
+
+    def __init__(self, query: ConjunctiveQuery, max_hops: int,
+                 spawn: Callable[[PipelineContext, ConjunctiveQuery], None]
+                 ) -> None:
+        super().__init__("reformulate")
+        self.query = query
+        self.max_hops = max_hops
+        self._spawn_subplan = spawn
+        self.seen: set[ConjunctiveQuery] = {query}
+        #: schema -> list of (query, hops) posed against it
+        self._queries_by_schema: dict[
+            str, list[tuple[ConjunctiveQuery, int]]] = {}
+        #: schema -> fetched active mappings (present once fetched)
+        self._mappings_cache: dict[str, list] = {}
+        self._fetching: set[str] = set()
+        self._pending = 0
+        #: guards against closing mid-start (a fetch can complete
+        #: synchronously when the origin owns the key)
+        self._starting = False
+        self._ctx: PipelineContext | None = None
+
+    def start(self, ctx: PipelineContext) -> None:
+        self._ctx = ctx
+        self._starting = True
+        self._spawn_subplan(ctx, self.query)
+        self._register(self.query, 0)
+        self._starting = False
+        self._maybe_close()
+
+    def _register(self, query: ConjunctiveQuery, hops: int) -> None:
+        if hops >= self.max_hops:
+            return
+        for schema in sorted(query_schemas(query)):
+            self._queries_by_schema.setdefault(schema, []).append(
+                (query, hops))
+            if schema in self._mappings_cache:
+                self._translate(query, hops, schema)
+            else:
+                self._fetch_schema(schema)
+
+    def _fetch_schema(self, schema: str) -> None:
+        if schema in self._fetching or schema in self._mappings_cache:
+            return
+        ctx = self._ctx
+        assert ctx is not None
+        if ctx.cancelled:
+            self.stats.fetches_skipped += 1
+            return
+        self._fetching.add(schema)
+        self._pending += 1
+        self.stats.fetches_issued += 1
+
+        def _on_mappings(future: Future) -> None:
+            self._mappings_cache[schema] = future.result()
+            self._fetching.discard(schema)
+            for query, hops in list(
+                    self._queries_by_schema.get(schema, ())):
+                self._translate(query, hops, schema)
+            self._pending -= 1
+            self._maybe_close()
+
+        ctx.peer.fetch_mappings(schema, cancel=ctx.cancel
+                                ).add_done_callback(_on_mappings)
+
+    def _translate(self, query: ConjunctiveQuery, hops: int,
+                   schema: str) -> None:
+        ctx = self._ctx
+        assert ctx is not None
+        for mapping in self._mappings_cache.get(schema, ()):
+            translated = translate_query(query, mapping)
+            if translated is None or translated in self.seen:
+                continue
+            self.seen.add(translated)
+            self._spawn_subplan(ctx, translated)
+            self._register(translated, hops + 1)
+
+    def _maybe_close(self) -> None:
+        if self._pending == 0 and not self._starting:
+            self.close()
+
+
+class RecursiveFanout(Operator):
+    """Origin side of the recursive strategy, as a source operator.
+
+    The query travels to the peer holding the source schema's
+    mappings; schema peers reformulate, forward, execute and stream
+    results straight back (the protocol handlers live on
+    :class:`~repro.mediation.peer.GridVinePeer`).  This operator keeps
+    the exact spawn-count termination accounting: each request
+    eventually yields one report listing the ids of the sub-requests
+    it spawned and, if it executed, one results message; the fan-out
+    completes when every expected request has settled.  A
+    virtual-time timeout guards against message loss under churn
+    (closing with ``complete=False``); cooperative cancellation (limit
+    satisfied) closes early with ``complete`` still true.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, max_hops: int) -> None:
+        super().__init__("recursive-fanout")
+        self.query = query
+        self.max_hops = max_hops
+        #: request ids known to be part of this task
+        self.expected: set[str] = set()
+        #: request id -> its report, once received
+        self.reports: dict[str, dict] = {}
+        #: request ids whose results have arrived
+        self.results_received: set[str] = set()
+        self.finished = False
+        self.complete = True
+        self.timeout_handle = None
+        self.task_id: str | None = None
+        self.op_tag: str | None = None
+        self._ctx: PipelineContext | None = None
+
+    def start(self, ctx: PipelineContext) -> None:
+        from repro.mediation.keys import schema_key
+
+        self._ctx = ctx
+        peer = ctx.peer
+        #: attribution tag captured at issue time (a timeout-driven
+        #: finish runs outside any delivery scope)
+        self.op_tag = (peer.network.current_operation()
+                       if peer.network is not None else None)
+        self.task_id = f"{peer.node_id}:{next(peer._op_ids)}"
+        peer._refo_tasks[self.task_id] = self
+        self.timeout_handle = peer.loop.schedule(
+            peer.query_timeout, self._finish, False)
+        ctx.cancel.on_cancel(lambda: self._finish(True))
+        primary_schema = min(query_schemas(self.query))
+        self.stats.fetches_issued += 1
+        root_id = peer._send_refo(schema_key(primary_schema), {
+            "task_id": self.task_id,
+            "task_origin": peer.node_id,
+            "query": self.query,
+            "visited": [primary_schema],
+            "ttl": self.max_hops,
+        })
+        self.expected.add(root_id)
+
+    # -- protocol callbacks (dispatched via peer._refo_tasks) ----------
+
+    def on_report(self, request_id: str, report: dict) -> None:
+        """A schema peer reported which sub-requests it spawned."""
+        if self.finished:
+            return
+        self.reports[request_id] = report
+        self.expected.add(request_id)
+        self.expected.update(report.get("spawned", ()))
+        self._check_done()
+
+    def on_results(self, request_id: str, query: ConjunctiveQuery,
+                   rows: set) -> None:
+        """A schema peer streamed back one reformulation's results."""
+        if self.finished:
+            return
+        self.results_received.add(request_id)
+        # Sorted for determinism: set iteration order is not stable
+        # across processes, and a downstream Limit truncates batches.
+        self.emit(sorted(rows), source=query)
+        self._check_done()
+
+    def _check_done(self) -> None:
+        for request_id in self.expected:
+            report = self.reports.get(request_id)
+            if report is None:
+                return
+            if (report.get("executes")
+                    and request_id not in self.results_received):
+                return
+        self._finish(True)
+
+    def _finish(self, complete: bool) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.complete = complete
+        if self.timeout_handle is not None:
+            self.timeout_handle.cancel()
+        ctx = self._ctx
+        assert ctx is not None
+        peer = ctx.peer
+        peer._refo_tasks.pop(self.task_id, None)
+        if self.op_tag is not None and peer.network is not None:
+            # Close inside the operation's attribution scope: the
+            # close cascade resolves the query future, whose callbacks
+            # may still send attributable traffic.
+            with peer.network.operation(self.op_tag):
+                self.close()
+        else:
+            self.close()

@@ -1,0 +1,182 @@
+"""Plan builders: from (query, strategy) to a wired operator DAG.
+
+The three ``SearchFor`` strategies of §4 are expressed as different
+*shapes* of the same operator algebra:
+
+``local``
+    one execution subplan for the original query —
+    ``PatternScan*/BoundJoin -> HashJoin -> Project -> Dedup`` —
+    feeding ``Union -> Limit -> Collect``;
+
+``iterative``
+    a :class:`~repro.exec.operators.Reformulate` source that walks
+    mapping paths through the overlay and spawns one such subplan per
+    distinct reformulation, all feeding the same
+    ``Union -> Limit -> Collect`` tail;
+
+``recursive``
+    a :class:`~repro.exec.operators.RecursiveFanout` source streaming
+    already-projected rows back from the schema peers into the same
+    tail.
+
+The shared tail is where limit pushdown lives: a satisfied ``Limit``
+fires the pipeline's cancel token, upstream operators stop issuing
+fetches, and the outcome records what that saved.  The batched engine
+executor (:mod:`repro.engine.executor`) builds its own multi-query DAG
+with shared scan operators but reuses the same operator classes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exec.operators import (
+    BoundJoin,
+    Collect,
+    Dedup,
+    HashJoin,
+    Limit,
+    PatternScan,
+    Project,
+    RecursiveFanout,
+    Reformulate,
+    Union,
+)
+from repro.exec.stream import Operator, PipelineContext
+from repro.rdf.patterns import ConjunctiveQuery
+from repro.simnet.events import CancelToken, Future
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.mediation.peer import GridVinePeer
+
+#: strategies :func:`run_query_plan` knows how to build
+STRATEGIES = ("local", "iterative", "recursive")
+
+
+def attach_execution_subplan(ctx: PipelineContext,
+                             query: ConjunctiveQuery,
+                             downstream: Operator) -> None:
+    """Wire and start the execution subplan of one (reformulated)
+    query, feeding ``downstream``.
+
+    Honours the peer's :attr:`~repro.mediation.peer.GridVinePeer.
+    join_mode`: parallel mode scans every pattern independently and
+    hash-joins at the origin; bound mode runs the sequential
+    substituting join.  Either way the subplan ends in
+    ``Project -> Dedup`` so exactly one attributable row stream per
+    reformulation reaches ``downstream``.
+    """
+    peer = ctx.peer
+    sources: list[Operator] = []
+    tail: Operator
+    if peer.join_mode == "bound" and len(query.patterns) > 1:
+        tail = BoundJoin(query, peer.bound_join_fanout_cap)
+        sources.append(tail)
+    else:
+        join = HashJoin()
+        for pattern in query.patterns:
+            scan = PatternScan(pattern)
+            scan.connect(join)
+            sources.append(scan)
+        tail = join
+    project = Project(query)
+    dedup = Dedup()
+    tail.connect(project)
+    project.connect(dedup)
+    dedup.connect(downstream)
+    ctx.register(tail, project, dedup)
+    # Start only after the chain is fully wired: a scan whose key the
+    # origin owns completes synchronously.
+    for source in sources:
+        ctx.start_source(source)
+
+
+def execute_query_rows(peer: "GridVinePeer", query: ConjunctiveQuery,
+                       cancel: CancelToken | None = None) -> Future:
+    """Resolve one query's rows from ``peer`` (no reformulation).
+
+    Resolves to the set of projected result tuples — the data-layer
+    primitive used both by the local strategy's building blocks and by
+    schema peers executing received reformulations on the recursive
+    path.
+    """
+    ctx = PipelineContext(peer, cancel=cancel)
+    union = Union()
+    collect = Collect(ctx)
+    union.connect(collect)
+    ctx.register(union, collect)
+    attach_execution_subplan(ctx, query, union)
+    return collect.future
+
+
+def run_query_plan(peer: "GridVinePeer", query: ConjunctiveQuery,
+                   strategy: str, max_hops: int,
+                   limit: int | None = None) -> Future:
+    """Build, wire and start the operator DAG of one ``SearchFor``.
+
+    Returns a future resolving to the :class:`~repro.mediation.query.
+    QueryOutcome`, with streaming statistics (first-result latency,
+    limit/cancellation accounting, per-operator counters) filled in.
+    """
+    # Imported here, not at module top: repro.mediation's package init
+    # imports the peer, which imports this module — a lazy import keeps
+    # either entry point (mediation first or exec first) working.
+    from repro.mediation.query import QueryOutcome
+
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    ctx = PipelineContext(peer)
+    outcome = QueryOutcome(query=query, strategy=strategy,
+                           issued_at=peer.loop.now, limit=limit)
+    union = Union()
+    limit_op = Limit(limit)
+    collect = Collect(ctx, outcome=outcome)
+    union.connect(limit_op)
+    limit_op.connect(collect)
+    ctx.register(union, limit_op, collect)
+
+    reformulate: Reformulate | None = None
+    fanout: RecursiveFanout | None = None
+
+    def _finalize() -> None:
+        outcome.latency = peer.loop.now - outcome.issued_at
+        if collect.first_rows_at is not None:
+            outcome.first_result_latency = (collect.first_rows_at
+                                            - outcome.issued_at)
+        outcome.limit_hit = limit_op.satisfied
+        outcome.fetches_issued = ctx.fetches_issued()
+        outcome.fetches_skipped = ctx.fetches_skipped()
+        outcome.rows_after_cancel = (limit_op.late_rows
+                                     + collect.stats.rows_dropped)
+        outcome.operator_stats = ctx.operator_snapshots()
+        if reformulate is not None:
+            outcome.reformulations_explored = len(reformulate.seen) - 1
+        elif fanout is not None:
+            outcome.reformulations_explored = max(
+                0, len(outcome.results_by_query) - 1)
+            outcome.complete = fanout.complete
+
+    collect.finalize = _finalize
+
+    def _on_satisfied() -> None:
+        # Cooperative early stop: cancel upstream work first (pending
+        # overlay ops resolve immediately, nothing new is issued),
+        # then resolve the outcome.
+        ctx.cancel.cancel()
+        collect.resolve()
+
+    limit_op.on_satisfied = _on_satisfied
+
+    if strategy == "local":
+        attach_execution_subplan(ctx, query, union)
+    elif strategy == "iterative":
+        reformulate = Reformulate(
+            query, max_hops,
+            lambda c, q: attach_execution_subplan(c, q, union))
+        reformulate.connect(union)
+        ctx.start_source(reformulate)
+    else:  # "recursive"
+        fanout = RecursiveFanout(query, max_hops)
+        fanout.connect(union)
+        ctx.start_source(fanout)
+    return collect.future

@@ -1,0 +1,279 @@
+"""The streaming core of the operator runtime: batches, operators,
+pipeline context.
+
+Execution is organized as a DAG of :class:`Operator` nodes through
+which :class:`Batch` es of rows are *pushed* as soon as they exist —
+there is no materialize-everything-then-return step.  The push
+discipline is what makes limit pushdown work: the moment a downstream
+``Limit`` has enough rows it fires the pipeline's
+:class:`~repro.simnet.events.CancelToken`, and every upstream operator
+checks that token before issuing new overlay fetches or reformulation
+fan-out.
+
+Mechanics
+---------
+
+* An operator *emits* batches to its downstream edges; an edge may
+  carry a ``transform`` (e.g. re-expressing a shared scan's canonical
+  bindings in the consumer's variables).
+* Each edge occupies a distinct input *slot* on the downstream
+  operator, so the same upstream may legally feed one consumer twice
+  (a reformulation using the same canonical pattern in two positions).
+* An operator with inputs closes automatically once every input slot
+  has closed; :meth:`Operator.on_finish` runs just before closing and
+  may still emit (joins flush there).  Source operators (no inputs)
+  close themselves when their asynchronous work completes.
+* Per-operator counters (:class:`OperatorStats`) record rows in/out
+  and the overlay fetches issued vs skipped — the raw material for
+  the "messages saved by early stop" accounting.
+
+Everything runs single-threaded on the simulation's event loop;
+callbacks fire synchronously, so emission order (and therefore every
+measurement) is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.simnet.events import CancelToken, Future
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.mediation.peer import GridVinePeer
+    from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
+
+
+class OperatorStats:
+    """Row / fetch counters of one operator."""
+
+    __slots__ = ("name", "rows_in", "rows_out", "batches_out",
+                 "fetches_issued", "fetches_skipped", "rows_dropped")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: rows received from upstream
+        self.rows_in = 0
+        #: rows emitted downstream
+        self.rows_out = 0
+        #: batches emitted downstream
+        self.batches_out = 0
+        #: overlay operations this operator started (each costs
+        #: network messages)
+        self.fetches_issued = 0
+        #: overlay operations skipped because the pipeline was
+        #: cancelled first — the "messages saved by early stop"
+        self.fetches_skipped = 0
+        #: rows discarded after the operator stopped accepting
+        #: (e.g. arriving once a limit was already satisfied)
+        self.rows_dropped = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy for outcomes and reports."""
+        return {
+            "name": self.name,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "batches_out": self.batches_out,
+            "fetches_issued": self.fetches_issued,
+            "fetches_skipped": self.fetches_skipped,
+            "rows_dropped": self.rows_dropped,
+        }
+
+
+class Batch:
+    """One unit of streamed data: rows plus their provenance.
+
+    ``rows`` is a list of binding dicts (upstream of ``Project``) or
+    projected result tuples (downstream of it).  ``source`` is the
+    (original or reformulated) query that produced the rows — the
+    attribution key for :attr:`~repro.mediation.query.QueryOutcome.
+    results_by_query`.
+    """
+
+    __slots__ = ("rows", "source")
+
+    def __init__(self, rows: list, source: "ConjunctiveQuery | None" = None
+                 ) -> None:
+        self.rows = rows
+        self.source = source
+
+
+class Operator:
+    """Base class of every node in an execution DAG."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = OperatorStats(name)
+        #: outgoing edges: (downstream, transform, downstream slot)
+        self._edges: list[tuple["Operator",
+                                Callable[[Batch], Batch] | None, int]] = []
+        self._input_slots = 0
+        self._open_inputs = 0
+        self._closed = False
+        self._closing = False
+        self._close_listeners: list[Callable[["Operator"], None]] = []
+
+    # -- wiring ---------------------------------------------------------
+
+    def connect(self, downstream: "Operator",
+                transform: Callable[[Batch], Batch] | None = None
+                ) -> "Operator":
+        """Add an edge to ``downstream``; returns ``downstream``.
+
+        Each call claims a fresh input slot on the consumer, so
+        connecting the same pair twice creates two independent inputs.
+        """
+        slot = downstream._add_input()
+        self._edges.append((downstream, transform, slot))
+        return downstream
+
+    def _add_input(self) -> int:
+        slot = self._input_slots
+        self._input_slots += 1
+        self._open_inputs += 1
+        return slot
+
+    def on_closed(self, listener: Callable[["Operator"], None]) -> None:
+        """Run ``listener(self)`` when this operator closes."""
+        if self._closed:
+            listener(self)
+        else:
+            self._close_listeners.append(listener)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the operator's output stream has ended."""
+        return self._closed
+
+    # -- data flow ------------------------------------------------------
+
+    def emit(self, rows: list, source: "ConjunctiveQuery | None" = None
+             ) -> None:
+        """Push one batch to every downstream edge."""
+        if self._closed:
+            return
+        self.stats.rows_out += len(rows)
+        self.stats.batches_out += 1
+        batch = Batch(rows, source)
+        for downstream, transform, slot in self._edges:
+            downstream._receive(
+                batch if transform is None else transform(batch), slot
+            )
+
+    def _receive(self, batch: Batch, slot: int) -> None:
+        if self._closed:
+            self.stats.rows_dropped += len(batch.rows)
+            return
+        self.stats.rows_in += len(batch.rows)
+        self.on_batch(batch, slot)
+
+    def close(self) -> None:
+        """End the output stream (idempotent).
+
+        Runs :meth:`on_finish` first — which may still emit final
+        batches — then propagates the close to every downstream slot.
+        """
+        if self._closed or self._closing:
+            return
+        self._closing = True
+        self.on_finish()
+        self._closed = True
+        for downstream, _transform, slot in self._edges:
+            downstream._input_closed(slot)
+        listeners, self._close_listeners = self._close_listeners, []
+        for listener in listeners:
+            listener(self)
+
+    def _input_closed(self, slot: int) -> None:
+        self._open_inputs -= 1
+        self.on_input_closed(slot)
+        if self._open_inputs <= 0 and self._input_slots > 0:
+            self.close()
+
+    # -- hooks ----------------------------------------------------------
+
+    def start(self, ctx: "PipelineContext") -> None:
+        """Begin a source operator's asynchronous work (no-op here)."""
+
+    def on_batch(self, batch: Batch, slot: int) -> None:
+        """Handle one incoming batch (default: pass through)."""
+        self.emit(batch.rows, batch.source)
+
+    def on_input_closed(self, slot: int) -> None:
+        """React to one input stream ending (default: nothing)."""
+
+    def on_finish(self) -> None:
+        """Flush before closing (default: nothing)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PipelineContext:
+    """Shared state of one pipeline run.
+
+    Holds the executing peer, the run's cancellation token, and the
+    registry of operators (for stats aggregation).  Operators issue
+    their overlay work through :meth:`fetch_pattern` so skip/issue
+    accounting stays in one place.
+    """
+
+    def __init__(self, peer: "GridVinePeer",
+                 cancel: CancelToken | None = None) -> None:
+        self.peer = peer
+        self.cancel = cancel if cancel is not None else CancelToken()
+        self.operators: list[Operator] = []
+        self._registered: set[int] = set()
+        self.issued_at = peer.loop.now
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the pipeline's cancel token has fired."""
+        return self.cancel.cancelled
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.peer.loop.now
+
+    def register(self, *operators: Operator) -> None:
+        """Track operators for stats aggregation (idempotent)."""
+        for op in operators:
+            if id(op) not in self._registered:
+                self._registered.add(id(op))
+                self.operators.append(op)
+
+    def start_source(self, op: Operator) -> None:
+        """Register and start one source operator."""
+        self.register(op)
+        op.start(self)
+
+    def fetch_pattern(self, op: Operator,
+                      pattern: "TriplePattern") -> Future:
+        """Issue one pattern fetch on behalf of ``op``.
+
+        When the pipeline is already cancelled the fetch is skipped
+        (counted on the operator) and an empty binding list resolves
+        immediately — zero messages spent.
+        """
+        if self.cancel.cancelled:
+            op.stats.fetches_skipped += 1
+            future: Future = Future()
+            future.set_result([])
+            return future
+        op.stats.fetches_issued += 1
+        return self.peer._search_pattern(pattern, cancel=self.cancel)
+
+    # -- aggregation ----------------------------------------------------
+
+    def fetches_issued(self) -> int:
+        """Total overlay fetches issued across all operators."""
+        return sum(op.stats.fetches_issued for op in self.operators)
+
+    def fetches_skipped(self) -> int:
+        """Total overlay fetches skipped due to cancellation."""
+        return sum(op.stats.fetches_skipped for op in self.operators)
+
+    def operator_snapshots(self) -> list[dict]:
+        """Per-operator stats in registration order."""
+        return [op.stats.snapshot() for op in self.operators]

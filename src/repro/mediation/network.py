@@ -317,7 +317,8 @@ class GridVineNetwork:
     def search_for(self, query: ConjunctiveQuery | str,
                    strategy: str = "iterative",
                    max_hops: int = 5,
-                   origin: str | None = None) -> QueryOutcome:
+                   origin: str | None = None,
+                   limit: int | None = None) -> QueryOutcome:
         """Issue a ``SearchFor`` and block until its outcome.
 
         ``query`` may be a parsed query or the paper's surface syntax,
@@ -333,6 +334,13 @@ class GridVineNetwork:
         ``"recursive"``
             Reformulation is delegated hop-by-hop to the peers holding
             the mappings (§4).
+
+        ``limit`` is pushed *into* the distributed execution: the
+        streaming pipeline stops issuing pattern fetches and
+        reformulation fan-out the moment ``limit`` distinct rows have
+        arrived (cooperative cancellation), and the outcome's
+        streaming statistics report the fetches skipped and the
+        estimated messages saved.
 
         For repeated / high-volume workloads, prefer an engine from
         :meth:`create_engine`: it caches reformulation plans across
@@ -352,7 +360,8 @@ class GridVineNetwork:
             # billed to this query.
             with self.network.operation(op_tag):
                 future = origin_peer.search_for(
-                    query, strategy=strategy, max_hops=max_hops
+                    query, strategy=strategy, max_hops=max_hops,
+                    limit=limit,
                 )
             outcome = self._run(future)
             outcome.messages = metrics.operation_messages(op_tag)

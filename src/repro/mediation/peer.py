@@ -30,6 +30,16 @@ with the paper's mediation operations:
       how many sub-requests it forwarded), with a virtual-time timeout
       as a safety net against message loss under churn.
 
+All three strategies execute through the streaming operator runtime of
+:mod:`repro.exec`: this module builds the operator DAG (via
+:mod:`repro.exec.plans`) and contributes the overlay primitives the
+operators drive — pattern fetches (:meth:`GridVinePeer.
+_search_pattern`), schema-space reads and the recursive strategy's
+wire protocol.  ``SearchFor`` therefore supports **limit pushdown**: a
+``limit`` makes the pipeline cancel its remaining fan-out the moment
+enough distinct answers arrived, and the outcome reports what the
+early stop saved.
+
 Degree bookkeeping (§3.1) is event-driven: whenever mapping records at
 a schema's key space change, the peer holding that schema definition
 recomputes ``(InDegree, OutDegree)`` over *active* mappings and
@@ -43,12 +53,12 @@ from __future__ import annotations
 import random
 from typing import Any
 
+from repro.exec.plans import execute_query_rows, run_query_plan
 from repro.mapping.model import SchemaMapping
 from repro.mapping.unfolding import query_schemas, translate_query
 from repro.mediation.keys import domain_key, schema_key, term_key, triple_keys
 from repro.util.hashing import prefix_interval
 from repro.util.keys import covering_prefixes
-from repro.mediation.query import QueryOutcome
 from repro.mediation.records import (
     ConnectivityRecord,
     IncomingMappingRecord,
@@ -57,14 +67,10 @@ from repro.mediation.records import (
     TripleRecord,
 )
 from repro.pgrid.peer import PGridPeer
-from repro.rdf.patterns import (
-    ConjunctiveQuery,
-    TriplePattern,
-    join_bindings,
-)
+from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
 from repro.rdf.triples import Triple
 from repro.schema.model import Schema
-from repro.simnet.events import Future, gather
+from repro.simnet.events import CancelToken, Future, gather
 from repro.simnet.network import Message
 from repro.storage.triplestore import TripleStore
 from repro.util.guid import mint_guid
@@ -112,8 +118,10 @@ class GridVinePeer(PGridPeer):
         #: last connectivity record published per schema (suppresses
         #: redundant republication)
         self._published_connectivity: dict[str, ConnectivityRecord] = {}
-        #: recursive-strategy origin-side task state
-        self._refo_tasks: dict[str, _RecursiveTask] = {}
+        #: recursive-strategy origin-side fan-out operators by task id
+        #: (:class:`repro.exec.operators.RecursiveFanout`), the
+        #: dispatch table for report / results messages
+        self._refo_tasks: dict[str, Any] = {}
         #: recursive-strategy handler-side dedup sets, per task
         self._refo_seen: dict[str, set[ConjunctiveQuery]] = {}
         #: mapping-event hooks ``fn(action, mapping)`` fired on the
@@ -233,21 +241,24 @@ class GridVinePeer(PGridPeer):
     # Mediation-layer reads
     # ------------------------------------------------------------------
 
-    def fetch_schema_space(self, schema_name: str) -> Future:
+    def fetch_schema_space(self, schema_name: str,
+                           cancel: CancelToken | None = None) -> Future:
         """Retrieve every record at ``Hash(schema_name)``.
 
         Resolves to the raw record list (schema definition, outgoing
-        mapping records and incoming markers).
+        mapping records and incoming markers).  ``cancel`` propagates
+        cooperative cancellation into the underlying retrieve.
         """
         out: Future = Future()
-        fut = self.retrieve(schema_key(schema_name))
+        fut = self.retrieve(schema_key(schema_name), cancel=cancel)
         fut.add_done_callback(
             lambda f: out.set_result(list(f.result().values or []))
         )
         return out
 
     def fetch_mappings(self, schema_name: str,
-                       include_deprecated: bool = False) -> Future:
+                       include_deprecated: bool = False,
+                       cancel: CancelToken | None = None) -> Future:
         """Active outgoing mappings of a schema, via the overlay."""
         out: Future = Future()
 
@@ -259,7 +270,8 @@ class GridVinePeer(PGridPeer):
             ]
             out.set_result(sorted(mappings, key=lambda m: m.mapping_id))
 
-        self.fetch_schema_space(schema_name).add_done_callback(_on_records)
+        self.fetch_schema_space(schema_name, cancel=cancel
+                                ).add_done_callback(_on_records)
         return out
 
     def fetch_connectivity(self, domain: str) -> Future:
@@ -277,7 +289,7 @@ class GridVinePeer(PGridPeer):
     # ------------------------------------------------------------------
 
     def search_for(self, query: ConjunctiveQuery, strategy: str = "iterative",
-                   max_hops: int = 5) -> Future:
+                   max_hops: int = 5, limit: int | None = None) -> Future:
         """Resolve a query; resolves to a :class:`QueryOutcome`.
 
         ``strategy`` selects where reformulation runs: ``"local"``
@@ -288,32 +300,21 @@ class GridVinePeer(PGridPeer):
         :attr:`join_mode` (``"parallel"`` or ``"bound"``).
 
         ``max_hops`` bounds the length of mapping paths explored (the
-        recursive strategy's TTL / the iterative strategy's BFS depth).
+        recursive strategy's TTL / the iterative strategy's BFS
+        depth).  ``limit`` caps the number of distinct result rows:
+        once reached, the streaming pipeline cooperatively cancels all
+        remaining fan-out (limit pushdown), and the outcome's
+        streaming statistics report the fetches that saved.
         """
         for pattern in query.patterns:
             pattern.routing_position()  # raises early on unroutable patterns
-        future: Future = Future()
-        if strategy == "local":
-            outcome = QueryOutcome(query=query, strategy="local",
-                                   issued_at=self.loop.now)
-
-            def _on_rows(f: Future) -> None:
-                outcome.record(query, f.result())
-                outcome.latency = self.loop.now - outcome.issued_at
-                future.set_result(outcome)
-
-            self._execute_query(query).add_done_callback(_on_rows)
-        elif strategy == "iterative":
-            _IterativeTask(self, query, max_hops, future).start()
-        elif strategy == "recursive":
-            self._start_recursive(query, max_hops, future)
-        else:
-            raise ValueError(f"unknown strategy {strategy!r}")
-        return future
+        return run_query_plan(self, query, strategy=strategy,
+                              max_hops=max_hops, limit=limit)
 
     # -- data-layer execution ------------------------------------------
 
-    def _search_pattern(self, pattern: TriplePattern) -> Future:
+    def _search_pattern(self, pattern: TriplePattern,
+                        cancel: CancelToken | None = None) -> Future:
         """Route one pattern to its key space; resolves to bindings.
 
         Exact routing constants resolve with a single ``search`` op at
@@ -321,10 +322,12 @@ class GridVinePeer(PGridPeer):
         no single key; its matches occupy a contiguous key *interval*
         (order-preserving hash), which is fetched with overlay range
         queries over the interval's covering prefixes and matched
-        against the pattern at the origin.
+        against the pattern at the origin.  ``cancel`` propagates
+        cooperative cancellation: a fired token stops retries and
+        resolves the fetch (empty) immediately.
         """
         if pattern.routing_mode() == "prefix":
-            return self._search_pattern_by_prefix(pattern)
+            return self._search_pattern_by_prefix(pattern, cancel=cancel)
         key = term_key(pattern.routing_constant())
         out: Future = Future()
 
@@ -333,7 +336,8 @@ class GridVinePeer(PGridPeer):
             values = result.values if result.success else None
             out.set_result(list(values) if values else [])
 
-        self._start_op("search", key, pattern).add_done_callback(_on_result)
+        self._start_op("search", key, pattern,
+                       cancel=cancel).add_done_callback(_on_result)
         return out
 
     #: decomposition depth for prefix-pattern range queries; bounds the
@@ -341,7 +345,9 @@ class GridVinePeer(PGridPeer):
     #: filtered by pattern matching at the origin)
     _RANGE_COVER_DEPTH = 16
 
-    def _search_pattern_by_prefix(self, pattern: TriplePattern) -> Future:
+    def _search_pattern_by_prefix(self, pattern: TriplePattern,
+                                  cancel: CancelToken | None = None
+                                  ) -> Future:
         needle = pattern.routing_constant().prefix_needle  # type: ignore[union-attr]
         low, high = prefix_interval(needle)
         covers = covering_prefixes(low, high,
@@ -363,142 +369,23 @@ class GridVinePeer(PGridPeer):
                         bindings.append(matched)
             out.set_result(bindings)
 
-        gather([self.range_query(c) for c in covers]).add_done_callback(
-            _on_ranges)
+        gather([self.range_query(c, cancel=cancel) for c in covers]
+               ).add_done_callback(_on_ranges)
         return out
 
-    def _execute_query(self, query: ConjunctiveQuery) -> Future:
+    def _execute_query(self, query: ConjunctiveQuery,
+                       cancel: CancelToken | None = None) -> Future:
         """Resolve a query's patterns and project the distinguished
         variables; resolves to a set of result tuples.
 
-        Dispatches on :attr:`join_mode`; single-pattern queries take
-        the direct path either way.
+        Runs a reformulation-free operator pipeline honouring
+        :attr:`join_mode` — the data-layer primitive behind the local
+        strategy and the recursive strategy's handler-side execution.
         """
-        if self.join_mode == "bound" and len(query.patterns) > 1:
-            return self._execute_query_bound(query)
-        return self._execute_query_parallel(query)
+        return execute_query_rows(self, query, cancel=cancel)
 
-    def _execute_query_parallel(self, query: ConjunctiveQuery) -> Future:
-        """All patterns resolved independently, joined at the origin."""
-        out: Future = Future()
-        pattern_futures = [self._search_pattern(p) for p in query.patterns]
-
-        def _on_all(f: Future) -> None:
-            joined: list[dict] = [{}]
-            for bindings_list in f.result():
-                joined = join_bindings(joined, bindings_list)
-                if not joined:
-                    break
-            rows = {
-                query.project(b) for b in joined
-                if all(v in b for v in query.distinguished)
-            }
-            out.set_result(rows)
-
-        gather(pattern_futures).add_done_callback(_on_all)
-        return out
-
-    @staticmethod
-    def _selectivity_rank(pattern: TriplePattern) -> tuple:
-        """Sort key: most selective pattern first.
-
-        Exact subjects pin a single resource; exact objects a value;
-        predicates an entire attribute extent.  More exact constants
-        beat fewer.
-        """
-        constants = pattern.constants()
-        from repro.rdf.triples import Position
-        return (
-            0 if Position.SUBJECT in constants else 1,
-            0 if Position.OBJECT in constants else 1,
-            0 if Position.PREDICATE in constants else 1,
-            str(pattern),
-        )
-
-    def _execute_query_bound(self, query: ConjunctiveQuery) -> Future:
-        """Sequential bound join: substitute earlier bindings into
-        later patterns before fetching them.
-
-        For each step, the distinct substituted variants of the next
-        pattern are fetched (capped at :attr:`bound_join_fanout_cap`
-        variants — beyond that the unbound pattern is cheaper) and
-        joined into the running binding set.
-        """
-        ordered = sorted(query.patterns, key=self._selectivity_rank)
-        out: Future = Future()
-
-        def _step(index: int, joined: list[dict]) -> None:
-            if index == len(ordered) or not joined:
-                rows = {
-                    query.project(b) for b in joined
-                    if all(v in b for v in query.distinguished)
-                }
-                out.set_result(rows)
-                return
-            pattern = ordered[index]
-            variants: list[TriplePattern] = []
-            seen_variants: set[TriplePattern] = set()
-            for bindings in joined:
-                variant = pattern.substitute(bindings)
-                if variant not in seen_variants:
-                    seen_variants.add(variant)
-                    variants.append(variant)
-            if (len(variants) > self.bound_join_fanout_cap
-                    or any(not v.variables() for v in variants)):
-                # Too many variants (or fully ground ones, whose empty
-                # binding dicts would not join back): fetch unbound.
-                variants = [pattern]
-
-            def _on_fetched(f: Future) -> None:
-                fetched: list[dict] = []
-                seen_keys: set[tuple] = set()
-                from repro.rdf.terms import Variable
-                from repro.rdf.triples import ALL_POSITIONS
-                for bindings_list, variant in zip(f.result(), variants):
-                    for b in bindings_list:
-                        # Re-attach the variables the substitution
-                        # erased, so the join sees them again.
-                        restored = dict(b)
-                        for pos in ALL_POSITIONS:
-                            term = pattern.at(pos)
-                            variant_term = variant.at(pos)
-                            if (isinstance(term, Variable)
-                                    and not isinstance(variant_term,
-                                                       Variable)):
-                                restored[term] = variant_term
-                        key = tuple(sorted(
-                            (v.value, repr(t))
-                            for v, t in restored.items()))
-                        if key not in seen_keys:
-                            seen_keys.add(key)
-                            fetched.append(restored)
-                _step(index + 1, join_bindings(joined, fetched))
-
-            gather([self._search_pattern(v) for v in variants]
-                   ).add_done_callback(_on_fetched)
-
-        _step(0, [{}])
-        return out
-
-    # -- recursive strategy ---------------------------------------------
-
-    def _start_recursive(self, query: ConjunctiveQuery, max_hops: int,
-                         future: Future) -> None:
-        task_id = f"{self.node_id}:{next(self._op_ids)}"
-        task = _RecursiveTask(self, task_id, query, future)
-        self._refo_tasks[task_id] = task
-        task.timeout_handle = self.loop.schedule(
-            self.query_timeout, task.finish, False
-        )
-        primary_schema = min(query_schemas(query))
-        root_id = self._send_refo(schema_key(primary_schema), {
-            "task_id": task_id,
-            "task_origin": self.node_id,
-            "query": query,
-            "visited": [primary_schema],
-            "ttl": max_hops,
-        })
-        task.expected.add(root_id)
+    # -- recursive strategy (wire protocol; the origin-side fan-out
+    # -- accounting lives in repro.exec.operators.RecursiveFanout) ------
 
     def _send_refo(self, key: Key, value: dict) -> str:
         """Route a reformulation request toward a schema key space.
@@ -709,176 +596,3 @@ class GridVinePeer(PGridPeer):
         self._published_connectivity[schema_name] = record
         self.update(domain_key(schema.domain), record)
 
-
-class _IterativeTask:
-    """Origin-side state machine of the iterative strategy.
-
-    The origin interleaves two kinds of asynchronous work: fetching
-    schema key spaces (to learn mappings) and executing reformulated
-    queries.  ``pending`` counts outstanding futures; the task resolves
-    when it reaches zero.
-    """
-
-    def __init__(self, peer: GridVinePeer, query: ConjunctiveQuery,
-                 max_hops: int, future: Future) -> None:
-        self.peer = peer
-        self.max_hops = max_hops
-        self.future = future
-        self.outcome = QueryOutcome(query=query, strategy="iterative",
-                                    issued_at=peer.loop.now)
-        self.pending = 0
-        self.seen_queries: set[ConjunctiveQuery] = {query}
-        #: schema -> list of (query, hops) posed against it
-        self.queries_by_schema: dict[str, list[tuple[ConjunctiveQuery, int]]] = {}
-        #: schema -> fetched active mappings (present once fetched)
-        self.mappings_cache: dict[str, list[SchemaMapping]] = {}
-        self.fetching: set[str] = set()
-        #: guards against resolving mid-start (a sub-operation can
-        #: complete synchronously when the origin owns the key) and
-        #: against double resolution
-        self._starting = True
-        self._finished = False
-
-    def start(self) -> None:
-        """Kick off: run the original query and learn its schemas."""
-        self._run_query(self.outcome.query, 0)
-        self._register(self.outcome.query, 0)
-        self._starting = False
-        self._maybe_finish()
-
-    # -- bookkeeping -----------------------------------------------------
-
-    def _register(self, query: ConjunctiveQuery, hops: int) -> None:
-        """Note a query and trigger fetch/translate for its schemas."""
-        if hops >= self.max_hops:
-            return
-        for schema in sorted(query_schemas(query)):
-            self.queries_by_schema.setdefault(schema, []).append((query, hops))
-            if schema in self.mappings_cache:
-                self._translate_one(query, hops, schema)
-            else:
-                self._fetch_schema(schema)
-
-    def _fetch_schema(self, schema: str) -> None:
-        if schema in self.fetching or schema in self.mappings_cache:
-            return
-        self.fetching.add(schema)
-        self.pending += 1
-
-        def _on_mappings(f: Future) -> None:
-            self.mappings_cache[schema] = f.result()
-            self.fetching.discard(schema)
-            for query, hops in list(self.queries_by_schema.get(schema, ())):
-                self._translate_one(query, hops, schema)
-            self._decrement()
-
-        self.peer.fetch_mappings(schema).add_done_callback(_on_mappings)
-
-    def _translate_one(self, query: ConjunctiveQuery, hops: int,
-                       schema: str) -> None:
-        for mapping in self.mappings_cache.get(schema, ()):
-            translated = translate_query(query, mapping)
-            if translated is None or translated in self.seen_queries:
-                continue
-            self.seen_queries.add(translated)
-            self._run_query(translated, hops + 1)
-            self._register(translated, hops + 1)
-
-    def _run_query(self, query: ConjunctiveQuery, hops: int) -> None:
-        self.pending += 1
-
-        def _on_rows(f: Future) -> None:
-            self.outcome.record(query, f.result())
-            self._decrement()
-
-        self.peer._execute_query(query).add_done_callback(_on_rows)
-
-    def _decrement(self) -> None:
-        self.pending -= 1
-        self._maybe_finish()
-
-    def _maybe_finish(self) -> None:
-        if self.pending == 0 and not self._starting and not self._finished:
-            self._finished = True
-            self.outcome.reformulations_explored = len(self.seen_queries) - 1
-            self.outcome.latency = self.peer.loop.now - self.outcome.issued_at
-            self.future.set_result(self.outcome)
-
-
-class _RecursiveTask:
-    """Origin-side termination accounting of the recursive strategy.
-
-    Each request eventually yields one report (listing the exact ids of
-    the sub-requests it spawned) and, if it executed the query, one
-    ``refo_results`` message.  A request is *settled* once its report
-    and (if due) its results have arrived; the task completes when
-    every expected request is settled.  Tracking explicit ids (rather
-    than counters) keeps the accounting correct when a child's report
-    overtakes its parent's on the network.
-    """
-
-    def __init__(self, peer: GridVinePeer, task_id: str,
-                 query: ConjunctiveQuery, future: Future) -> None:
-        self.peer = peer
-        self.task_id = task_id
-        self.future = future
-        self.outcome = QueryOutcome(query=query, strategy="recursive",
-                                    issued_at=peer.loop.now)
-        #: request ids known to be part of this task
-        self.expected: set[str] = set()
-        #: request id -> its report, once received
-        self.reports: dict[str, dict] = {}
-        #: request ids whose results have arrived
-        self.results_received: set[str] = set()
-        self.finished = False
-        self.timeout_handle = None
-        #: attribution tag captured at issue time (a timeout-driven
-        #: finish runs outside any delivery scope)
-        self.op_tag = (peer.network.current_operation()
-                       if peer.network is not None else None)
-
-    def on_report(self, request_id: str, report: dict) -> None:
-        """A schema peer reported which sub-requests it spawned."""
-        if self.finished:
-            return
-        self.reports[request_id] = report
-        self.expected.add(request_id)
-        self.expected.update(report.get("spawned", ()))
-        self._check_done()
-
-    def on_results(self, request_id: str, query: ConjunctiveQuery,
-                   rows: set) -> None:
-        """A schema peer streamed back one reformulation's results."""
-        if self.finished:
-            return
-        self.results_received.add(request_id)
-        self.outcome.record(query, set(rows))
-        self._check_done()
-
-    def _check_done(self) -> None:
-        for request_id in self.expected:
-            report = self.reports.get(request_id)
-            if report is None:
-                return
-            if report.get("executes") and request_id not in self.results_received:
-                return
-        self.finish(True)
-
-    def finish(self, complete: bool) -> None:
-        """Resolve the task (``complete=False`` on timeout)."""
-        if self.finished:
-            return
-        self.finished = True
-        if self.timeout_handle is not None:
-            self.timeout_handle.cancel()
-        self.peer._refo_tasks.pop(self.task_id, None)
-        self.outcome.complete = complete
-        self.outcome.reformulations_explored = max(
-            0, len(self.outcome.results_by_query) - 1
-        )
-        self.outcome.latency = self.peer.loop.now - self.outcome.issued_at
-        if self.op_tag is not None and self.peer.network is not None:
-            with self.peer.network.operation(self.op_tag):
-                self.future.set_result(self.outcome)
-        else:
-            self.future.set_result(self.outcome)

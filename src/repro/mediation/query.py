@@ -36,6 +36,22 @@ class QueryOutcome:
     #: network messages attributable to this query (filled by the
     #: harness from metric deltas; 0 when issued peer-side directly)
     messages: int = 0
+    # -- streaming statistics (filled by the operator runtime) ---------
+    #: requested result cap (``None`` = unlimited)
+    limit: int | None = None
+    #: whether the limit was reached (triggering cooperative cancel)
+    limit_hit: bool = False
+    #: virtual seconds from issue to the first non-empty result batch
+    first_result_latency: float | None = None
+    #: result rows that arrived after the limit cancelled the pipeline
+    #: (received but discarded)
+    rows_after_cancel: int = 0
+    #: overlay fetches the pipeline actually issued
+    fetches_issued: int = 0
+    #: overlay fetches skipped because the limit stopped the pipeline
+    fetches_skipped: int = 0
+    #: per-operator row/fetch counters, in plan order
+    operator_stats: list = field(default_factory=list)
 
     def record(self, produced_by: ConjunctiveQuery,
                rows: set[tuple[GroundTerm, ...]]) -> None:
@@ -52,3 +68,16 @@ class QueryOutcome:
     def sorted_results(self) -> list[tuple[GroundTerm, ...]]:
         """Results in deterministic order (for display and tests)."""
         return sorted(self.results)
+
+    @property
+    def estimated_messages_saved(self) -> int:
+        """Messages the early stop avoided (estimate).
+
+        Scales the query's measured per-fetch message cost by the
+        number of fetches the cancelled pipeline skipped.  Zero when
+        nothing was skipped or nothing was measured.
+        """
+        if not self.fetches_skipped or not self.fetches_issued:
+            return 0
+        return round(self.messages * self.fetches_skipped
+                     / self.fetches_issued)

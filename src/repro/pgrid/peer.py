@@ -74,6 +74,10 @@ class _Pending:
     #: first-hop references already tried; replica-aware failover
     #: steers retries away from these toward alternate replicas
     tried_hops: set[str] = field(default_factory=set)
+    #: cooperative-cancellation token of the issuing computation (see
+    #: :class:`~repro.simnet.events.CancelToken`); a fired token stops
+    #: timeout retries and resolves the operation immediately
+    cancel: Any = None
 
 
 class PGridPeer(Node):
@@ -128,8 +132,10 @@ class PGridPeer(Node):
         #: failover counters: ``failovers`` counts dead references
         #: skipped in favour of an alternate replica, ``retries`` the
         #: timeout-driven re-attempts, ``gave_up`` the operations that
-        #: exhausted every attempt
-        self.failover_stats = {"failovers": 0, "retries": 0, "gave_up": 0}
+        #: exhausted every attempt, ``cancelled`` the ones torn down by
+        #: cooperative cancellation (limit pushdown) before completing
+        self.failover_stats = {"failovers": 0, "retries": 0, "gave_up": 0,
+                               "cancelled": 0}
         #: level -> list of node ids covering the complementary subtree
         self.routing_table: list[list[str]] = [[] for _ in range(len(path))]
         #: replica group sigma(p): other peers with the same path
@@ -213,9 +219,14 @@ class PGridPeer(Node):
     # Public operations (origin side)
     # ------------------------------------------------------------------
 
-    def retrieve(self, key: Key) -> Future:
-        """Start a ``Retrieve(key)``; resolves to an :class:`OpResult`."""
-        return self._start_op("retrieve", key, None)
+    def retrieve(self, key: Key, cancel: Any = None) -> Future:
+        """Start a ``Retrieve(key)``; resolves to an :class:`OpResult`.
+
+        ``cancel`` is an optional
+        :class:`~repro.simnet.events.CancelToken`: when it fires the
+        operation stops retrying and resolves as failed immediately.
+        """
+        return self._start_op("retrieve", key, None, cancel=cancel)
 
     def retrieve_prefix(self, prefix: Key) -> Future:
         """Prefix variant of retrieve (requires prefix >= leaf depth)."""
@@ -231,9 +242,14 @@ class PGridPeer(Node):
             raise ValueError(f"unknown update action {action!r}")
         return self._start_op(action, key, value)
 
-    def _start_op(self, op: str, key: Key, value: Any) -> Future:
-        op_id = f"{self.node_id}:{next(self._op_ids)}"
+    def _start_op(self, op: str, key: Key, value: Any,
+                  cancel: Any = None) -> Future:
         future: Future = Future()
+        if cancel is not None and cancel.cancelled:
+            # Cancelled before issue: spend zero messages.
+            future.set_result(OpResult(key=key, success=False, attempts=0))
+            return future
+        op_id = f"{self.node_id}:{next(self._op_ids)}"
         pending = _Pending(
             future=future,
             key=key,
@@ -242,10 +258,41 @@ class PGridPeer(Node):
             issued_at=self.loop.now,
             op_tag=(self.network.current_operation()
                     if self.network is not None else None),
+            cancel=cancel,
         )
         self._pending[op_id] = pending
+        if cancel is not None:
+            cancel.on_cancel(lambda: self._cancel_op(op_id))
         self._attempt(op_id)
         return future
+
+    def _cancel_op(self, op_id: str) -> None:
+        """Tear down one pending op on cooperative cancellation.
+
+        The in-flight message (if any) is already on the wire and may
+        still arrive — :meth:`_complete` tolerates the missing pending
+        entry — but no retry timer fires and the future resolves now,
+        so callers stop waiting (and stop spending messages)
+        immediately.
+        """
+        pending = self._pending.pop(op_id, None)
+        if pending is None:
+            return  # already completed (or timed out) normally
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        self.failover_stats["cancelled"] += 1
+        result = OpResult(
+            key=pending.key,
+            success=False,
+            hops=0,
+            latency=self.loop.now - pending.issued_at,
+            attempts=pending.attempts,
+        )
+        if pending.op_tag is not None and self.network is not None:
+            with self.network.operation(pending.op_tag):
+                pending.future.set_result(result)
+        else:
+            pending.future.set_result(result)
 
     def _attempt(self, op_id: str) -> None:
         """(Re)issue the routing step for a pending operation."""
@@ -469,7 +516,8 @@ class PGridPeer(Node):
     # Range queries (subtree multicast, a.k.a. the P-Grid "shower")
     # ------------------------------------------------------------------
 
-    def range_query(self, prefix: Key, timeout: float | None = None) -> Future:
+    def range_query(self, prefix: Key, timeout: float | None = None,
+                    cancel: Any = None) -> Future:
         """Retrieve every value whose key extends ``prefix``.
 
         A short prefix can span many leaves, so this is a *multicast*:
@@ -485,11 +533,23 @@ class PGridPeer(Node):
         task_id = f"{self.node_id}:{next(self._op_ids)}"
         future: Future = Future()
         task = _RangeTask(self, task_id, prefix, future)
+        if cancel is not None and cancel.cancelled:
+            task.finish(False)
+            return task.future
         self._range_tasks[task_id] = task
         task.timeout_handle = self.loop.schedule(
             timeout if timeout is not None else self.timeout * 3,
             task.finish, False,
         )
+        if cancel is not None:
+            # Cooperative cancellation resolves the multicast with
+            # whatever subtrees have answered so far.
+            def _cancel_range() -> None:
+                if not task.finished:
+                    self.failover_stats["cancelled"] += 1
+                    task.finish(False)
+
+            cancel.on_cancel(_cancel_range)
         root_id = self._send_range(prefix, task_id)
         task.expected.add(root_id)
         return task.future

@@ -9,8 +9,9 @@ reformulated queries exist and along which mapping paths
 (:mod:`repro.reformulation.planner`).  The two *distributed execution
 strategies* of §4 (iterative: the issuing peer walks mapping paths
 itself; recursive: successive reformulations are delegated to the
-intermediate peers holding the mappings) are implemented in
-:mod:`repro.mediation.peer` on top of this logic.
+intermediate peers holding the mappings) are expressed as operator-
+DAG plan shapes in :mod:`repro.exec.plans` on top of this logic, with
+the recursive wire protocol living in :mod:`repro.mediation.peer`.
 
 Planning is a pure function of (query, mapping graph), which is what
 makes it cacheable: :mod:`repro.engine` wraps
@@ -22,6 +23,7 @@ queries skip the BFS entirely.
 from repro.reformulation.planner import (
     Reformulation,
     plan_reformulations,
+    reformulation_waves,
 )
 
-__all__ = ["Reformulation", "plan_reformulations"]
+__all__ = ["Reformulation", "plan_reformulations", "reformulation_waves"]

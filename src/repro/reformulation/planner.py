@@ -6,6 +6,14 @@ active mappings, together with the mapping path that produced it.
 This is the sequential core both distributed strategies share; they
 differ only in *where* each translation step runs and which messages it
 costs.
+
+A plan is the *logical* half of execution: the engine's batch executor
+(:mod:`repro.engine.executor`) turns it into a physical operator DAG
+(shared pattern scans, hash joins, per-query limits — see
+:mod:`repro.exec`).  :func:`reformulation_waves` provides the bridge
+for limit pushdown: it groups a plan by hop count so the executor can
+fetch wave by wave and stop fanning out as soon as a query's limit is
+satisfied.
 """
 
 from __future__ import annotations
@@ -90,3 +98,29 @@ def plan_reformulations(
         frontier = next_frontier
         hops += 1
     return planned
+
+
+def reformulation_waves(
+    plan: list[Reformulation],
+) -> list[list[Reformulation]]:
+    """Group a plan into execution waves by hop count.
+
+    Wave ``h`` holds the reformulations exactly ``h`` mappings away
+    from the original query (wave 0 is the original itself).  BFS
+    order within each wave is preserved.  Streaming executors fetch
+    wave by wave under a result limit: nearer reformulations tend to
+    answer first, and every wave not started is fan-out saved.
+
+    >>> from repro.mapping.graph import MappingGraph
+    >>> from repro.rdf.parser import parse_search_for
+    >>> q = parse_search_for("SearchFor(x? : (x?, A#p, v))")
+    >>> [len(w) for w in reformulation_waves(
+    ...     plan_reformulations(q, MappingGraph()))]
+    [1]
+    """
+    waves: list[list[Reformulation]] = []
+    for reformulation in plan:
+        while reformulation.hops >= len(waves):
+            waves.append([])
+        waves[reformulation.hops].append(reformulation)
+    return [wave for wave in waves if wave]

@@ -77,6 +77,11 @@ class ScenarioSpec:
     #: ``"local"`` / ``"iterative"`` / ``"recursive"`` / ``"engine"``
     strategy: str = "iterative"
     max_hops: int = 8
+    #: per-query distinct-result cap pushed into the streaming
+    #: pipeline (``None`` = unlimited); a satisfied limit
+    #: cooperatively cancels the query's remaining fan-out even while
+    #: failover retries are in flight
+    limit: int | None = None
 
 
 @dataclass
@@ -104,6 +109,17 @@ class ScenarioReport:
     failovers: int = 0
     #: overlay operations that exhausted every retry
     ops_gave_up: int = 0
+    # -- streaming statistics (limit pushdown) -------------------------
+    #: median virtual seconds from issue to a query's first result
+    first_result_p50: float = 0.0
+    #: queries whose result limit was reached (cooperative cancel)
+    limit_hits: int = 0
+    #: overlay fetches skipped across all queries thanks to early stop
+    fetches_skipped: int = 0
+    #: result rows received after a query's limit had cancelled it
+    rows_after_cancel: int = 0
+    #: overlay operations torn down mid-flight by cancellation
+    ops_cancelled: int = 0
     #: engine statistics snapshot (``strategy == "engine"`` only)
     engine_stats: dict | None = None
 
@@ -123,6 +139,15 @@ class ScenarioReport:
             f"failover : {self.failovers} replica failovers, "
             f"{self.ops_gave_up} operations gave up",
         ]
+        if self.spec.limit is not None:
+            lines.append(
+                f"limit    : {self.limit_hits}/{self.queries_issued} "
+                f"queries hit limit {self.spec.limit}, first result "
+                f"p50 {self.first_result_p50:.2f}s, "
+                f"{self.fetches_skipped} fetches skipped, "
+                f"{self.ops_cancelled} in-flight ops cancelled, "
+                f"{self.rows_after_cancel} late rows discarded"
+            )
         if self.engine_stats is not None:
             cache = self.engine_stats["cache"]
             lines.append(
@@ -257,6 +282,8 @@ class ScenarioRunner:
                               for p in net.peers.values())
         gave_up_before = sum(p.failover_stats["gave_up"]
                              for p in net.peers.values())
+        cancelled_before = sum(p.failover_stats["cancelled"]
+                               for p in net.peers.values())
         if spec.selforg_rounds > 0:
             from repro.selforg import (
                 CreationPolicy,
@@ -297,23 +324,40 @@ class ScenarioRunner:
 
         report = ScenarioReport(spec=spec)
         latencies: list[float] = []
+        first_result_latencies: list[float] = []
         for index in range(spec.num_queries):
             query, truth = self.panel[index % len(self.panel)]
             if engine is not None:
-                outcome = engine.search_for(query, origin=self.origin)
+                outcome = engine.search_for(query, origin=self.origin,
+                                            limit=spec.limit)
             else:
                 outcome = net.search_for(query, strategy=spec.strategy,
                                          max_hops=spec.max_hops,
-                                         origin=self.origin)
+                                         origin=self.origin,
+                                         limit=spec.limit)
             report.queries_issued += 1
             if outcome.complete:
                 report.queries_complete += 1
             hits = {str(row[0]).strip("<>") for row in outcome.results}
             if truth:
+                # Under a limit a query *by design* returns at most
+                # ``limit`` rows, so recall is measured against what
+                # it was asked for, not the full truth set — otherwise
+                # every limited scenario would report collapsed recall
+                # on a perfectly healthy network.
+                denominator = (len(truth) if spec.limit is None
+                               else min(len(truth), spec.limit))
                 report.per_query_recall.append(len(hits & truth)
-                                               / len(truth))
+                                               / denominator)
             latencies.append(outcome.latency)
             report.query_messages += outcome.messages
+            if outcome.first_result_latency is not None:
+                first_result_latencies.append(
+                    outcome.first_result_latency)
+            if outcome.limit_hit:
+                report.limit_hits += 1
+            report.fetches_skipped += outcome.fetches_skipped
+            report.rows_after_cancel += outcome.rows_after_cancel
             loop.run_until(loop.now + spec.query_interval)
         if churn is not None:
             churn.stop()
@@ -327,6 +371,9 @@ class ScenarioRunner:
             report.latency_p50 = percentile(latencies, 50)
             report.latency_p90 = percentile(latencies, 90)
             report.latency_p99 = percentile(latencies, 99)
+        if first_result_latencies:
+            report.first_result_p50 = percentile(first_result_latencies,
+                                                 50)
         report.total_messages = metrics.messages_sent - messages_before
         report.messages_dropped = (metrics.messages_dropped
                                    - dropped_before)
@@ -338,6 +385,9 @@ class ScenarioRunner:
                                for p in net.peers.values()) - failover_before
         report.ops_gave_up = sum(p.failover_stats["gave_up"]
                                  for p in net.peers.values()) - gave_up_before
+        report.ops_cancelled = sum(
+            p.failover_stats["cancelled"] for p in net.peers.values()
+        ) - cancelled_before
         if engine is not None:
             report.engine_stats = engine.stats.snapshot()
         return report

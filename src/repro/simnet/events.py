@@ -32,6 +32,58 @@ class EventHandle:
         self.cancelled = True
 
 
+class CancelToken:
+    """Cooperative cancellation shared by one streaming computation.
+
+    The token generalizes :class:`EventHandle`'s ``cancel()`` /
+    ``cancelled`` protocol to whole *operations*: anything started on
+    behalf of a cancellable computation (pattern fetches, retry
+    timers, reformulation fan-out) keeps a reference to the token,
+    checks :attr:`cancelled` before issuing new work, and may register
+    an :meth:`on_cancel` callback to tear down in-flight state (for
+    scheduled events that usually means calling
+    :meth:`EventHandle.cancel` via :meth:`link`).
+
+    Cancellation is cooperative and idempotent: messages already on
+    the wire still arrive, but no *new* work is started once the token
+    fires — which is exactly what limit pushdown needs to stop a
+    distributed query the moment it has enough answers.
+
+    >>> token = CancelToken()
+    >>> fired = []
+    >>> token.on_cancel(lambda: fired.append("a"))
+    >>> token.cancel(); token.cancel()  # idempotent
+    >>> (token.cancelled, fired)
+    (True, ['a'])
+    """
+
+    __slots__ = ("cancelled", "_callbacks")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._callbacks: list[Callable[[], None]] = []
+
+    def cancel(self) -> None:
+        """Fire the token (idempotent); runs callbacks synchronously."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` when cancelled (immediately if already)."""
+        if self.cancelled:
+            callback()
+        else:
+            self._callbacks.append(callback)
+
+    def link(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event when the token fires."""
+        self.on_cancel(handle.cancel)
+
+
 class Future:
     """A one-shot result container resolved by a later event.
 

@@ -24,6 +24,15 @@ from repro.storage.relation import Relation
 class TripleStore:
     """An in-memory triple table with per-position indexes.
 
+    Index buckets are list-backed and served in *sorted order*:
+    pattern matching iterates buckets directly, and with limit
+    pushdown truncating result streams the iteration order is
+    semantics — hash-set buckets would make the first-N rows vary
+    with the process's hash seed.  Sorting is lazy (append on insert,
+    sort on the first probe after a mutation), so bulk loads stay
+    O(N) and the O(k log k) ordering cost is paid once per mutated
+    bucket rather than per insert or per match.
+
     >>> store = TripleStore()
     >>> from repro.rdf.terms import URI, Literal
     >>> store.add(Triple(URI("s"), URI("p"), Literal("o")))
@@ -34,9 +43,11 @@ class TripleStore:
 
     def __init__(self) -> None:
         self._triples: set[Triple] = set()
-        self._index: dict[Position, dict[GroundTerm, set[Triple]]] = {
+        self._index: dict[Position, dict[GroundTerm, list[Triple]]] = {
             pos: {} for pos in ALL_POSITIONS
         }
+        #: buckets appended to since their last sort
+        self._unsorted: set[tuple[Position, GroundTerm]] = set()
 
     # -- mutation ------------------------------------------------------
 
@@ -46,7 +57,9 @@ class TripleStore:
             return False
         self._triples.add(triple)
         for pos in ALL_POSITIONS:
-            self._index[pos].setdefault(triple.at(pos), set()).add(triple)
+            term = triple.at(pos)
+            self._index[pos].setdefault(term, []).append(triple)
+            self._unsorted.add((pos, term))
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -59,16 +72,22 @@ class TripleStore:
             return False
         self._triples.discard(triple)
         for pos in ALL_POSITIONS:
-            bucket = self._index[pos].get(triple.at(pos))
+            term = triple.at(pos)
+            bucket = self._index[pos].get(term)
             if bucket is not None:
-                bucket.discard(triple)
+                # add() guards duplicates, so exactly one copy exists;
+                # a linear remove keeps relative order (and therefore
+                # sortedness) intact.
+                bucket.remove(triple)
                 if not bucket:
-                    del self._index[pos][triple.at(pos)]
+                    del self._index[pos][term]
+                    self._unsorted.discard((pos, term))
         return True
 
     def clear(self) -> None:
         """Drop everything."""
         self._triples.clear()
+        self._unsorted.clear()
         for pos in ALL_POSITIONS:
             self._index[pos].clear()
 
@@ -99,9 +118,27 @@ class TripleStore:
 
     # -- pattern evaluation -----------------------------------------------
 
+    def _sorted_bucket(self, pos: Position,
+                       term: GroundTerm) -> list[Triple]:
+        """The index bucket at ``(pos, term)``, sorted (lazily)."""
+        bucket = self._index[pos].get(term)
+        if bucket is None:
+            return []
+        if (pos, term) in self._unsorted:
+            bucket.sort()
+            self._unsorted.discard((pos, term))
+        return bucket
+
     def _candidates(self, pattern: TriplePattern) -> Iterable[Triple]:
-        """Smallest index bucket among the pattern's exact constants."""
-        best: set[Triple] | None = None
+        """Smallest index bucket among the pattern's exact constants.
+
+        Always yields triples in sorted order: the chosen bucket is
+        sorted on demand, and the no-exact-constant fallback sorts the
+        full table (such patterns are unroutable and never reach the
+        distributed search path, so the fallback is cold).
+        """
+        best: tuple[Position, GroundTerm] | None = None
+        best_size = 0
         for pos in ALL_POSITIONS:
             term = pattern.at(pos)
             if not is_ground(term):
@@ -109,16 +146,23 @@ class TripleStore:
             if isinstance(term, Literal) and (term.is_like_pattern
                                               or term.is_prefix_pattern):
                 continue  # pattern literals cannot be probed exactly
-            bucket = self._index[pos].get(term, set())
-            if best is None or len(bucket) < len(best):
-                best = bucket
-        return self._triples if best is None else best
+            size = len(self._index[pos].get(term, ()))
+            if best is None or size < best_size:
+                best = (pos, term)
+                best_size = size
+        if best is None:
+            return sorted(self._triples)
+        return self._sorted_bucket(*best)
 
     def match(self, pattern: TriplePattern) -> list[dict[Variable, GroundTerm]]:
         """All variable bindings of ``pattern`` against the store.
 
         Patterns with no variables return ``[{}]`` when a matching
         triple exists (boolean semantics) and ``[]`` otherwise.
+
+        Bindings come back in sorted-triple order (see the class
+        docstring): with limit pushdown truncating result streams,
+        iteration order is semantics now, not cosmetics.
         """
         results = []
         for triple in self._candidates(pattern):

@@ -1,0 +1,271 @@
+"""Unit tests for the streaming operator runtime (repro.exec)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.bindings import (
+    binding_key,
+    dedup_bindings,
+    hash_join_bindings,
+    remap_bindings,
+    restore_variables,
+)
+from repro.exec.operators import Dedup, Limit, Project, Union
+from repro.exec.stream import Batch, Operator
+from repro.rdf.patterns import (
+    ConjunctiveQuery,
+    TriplePattern,
+    join_bindings,
+)
+from repro.rdf.terms import Literal, URI, Variable
+from repro.reformulation.planner import (
+    Reformulation,
+    reformulation_waves,
+)
+from repro.simnet.events import CancelToken, EventLoop
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestBindingHelpers:
+    def test_binding_key_order_insensitive(self):
+        a = {X: URI("u1"), Y: Literal("v")}
+        b = {Y: Literal("v"), X: URI("u1")}
+        assert binding_key(a) == binding_key(b)
+
+    def test_binding_key_distinguishes_values(self):
+        assert binding_key({X: URI("u1")}) != binding_key({X: URI("u2")})
+
+    def test_dedup_bindings_preserves_order(self):
+        rows = [{X: URI("a")}, {X: URI("b")}, {X: URI("a")}]
+        assert dedup_bindings(rows) == [{X: URI("a")}, {X: URI("b")}]
+
+    def test_dedup_bindings_shared_seen_set(self):
+        seen: set = set()
+        first = dedup_bindings([{X: URI("a")}], seen)
+        second = dedup_bindings([{X: URI("a")}, {X: URI("b")}], seen)
+        assert first == [{X: URI("a")}]
+        assert second == [{X: URI("b")}]
+
+    def test_remap_bindings(self):
+        canonical = Variable("_c0")
+        rows = [{canonical: URI("a")}]
+        assert remap_bindings(rows, {canonical: X}) == [{X: URI("a")}]
+        assert remap_bindings(rows, {}) is rows
+
+    def test_restore_variables(self):
+        pattern = TriplePattern(X, URI("S#len"), Y)
+        variant = pattern.substitute({X: URI("S:e1")})
+        restored = restore_variables(pattern, variant,
+                                     {Y: Literal("120")})
+        assert restored == {X: URI("S:e1"), Y: Literal("120")}
+
+
+class TestHashJoin:
+    def test_matches_nested_loop_join(self):
+        left = [{X: URI(f"e{i}"), Y: Literal(str(i))} for i in range(6)]
+        right = [{X: URI(f"e{i}"), Z: Literal(f"g{i % 2}")}
+                 for i in range(0, 12, 2)]
+        expected = join_bindings(left, right)
+        got = hash_join_bindings(left, right)
+        assert sorted(map(binding_key, got)) == \
+            sorted(map(binding_key, expected))
+
+    def test_cross_product_when_no_shared_vars(self):
+        left = [{X: URI("a")}, {X: URI("b")}]
+        right = [{Y: URI("c")}]
+        assert len(hash_join_bindings(left, right)) == 2
+
+    def test_empty_left_binding_joins_all(self):
+        right = [{X: URI("a")}, {X: URI("b")}]
+        assert hash_join_bindings([{}], right) == right
+
+    def test_empty_sides(self):
+        assert hash_join_bindings([], [{X: URI("a")}]) == []
+        assert hash_join_bindings([{X: URI("a")}], []) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                    max_size=12),
+           st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                    max_size=12))
+    def test_equivalence_property(self, left_ints, right_ints):
+        left = [{X: URI(f"u{a}"), Y: URI(f"v{b}")}
+                for a, b in left_ints]
+        right = [{Y: URI(f"v{a}"), Z: URI(f"w{b}")}
+                 for a, b in right_ints]
+        expected = join_bindings(left, right)
+        got = hash_join_bindings(left, right)
+        assert sorted(map(binding_key, got)) == \
+            sorted(map(binding_key, expected))
+
+
+def chain(*ops):
+    """Wire operators linearly; returns the ops."""
+    for upstream, downstream in zip(ops, ops[1:]):
+        upstream.connect(downstream)
+    return ops
+
+
+class _Sink(Operator):
+    """Test sink remembering everything it received."""
+
+    def __init__(self):
+        super().__init__("test-sink")
+        self.batches = []
+        self.closes = 0
+
+    def on_batch(self, batch, slot):
+        self.batches.append((list(batch.rows), batch.source))
+
+    def on_finish(self):
+        self.closes += 1
+
+
+class TestStreamMechanics:
+    def test_passthrough_and_close_propagation(self):
+        src, sink = chain(Union("src"), _Sink())
+        src.emit([1, 2], None)
+        src.close()
+        assert sink.batches == [([1, 2], None)]
+        assert sink.closes == 1 and sink.closed
+
+    def test_multi_input_close_barrier(self):
+        a, b, sink = Union("a"), Union("b"), _Sink()
+        a.connect(sink)
+        b.connect(sink)
+        a.close()
+        assert not sink.closed
+        b.close()
+        assert sink.closed
+
+    def test_rows_after_close_are_dropped_and_counted(self):
+        a, b, sink = Union("a"), Union("b"), _Sink()
+        a.connect(sink)
+        sink._input_closed(0)  # force-close via the only input
+        b.connect(sink)
+        b.emit([1, 2, 3], None)
+        assert sink.batches == []
+        assert sink.stats.rows_dropped == 3
+
+    def test_stats_count_rows(self):
+        src, sink = chain(Union("src"), _Sink())
+        src.emit([1, 2, 3], None)
+        assert src.stats.rows_out == 3
+        assert sink.stats.rows_in == 3
+
+
+PATTERN = TriplePattern(X, URI("S#org"), Y)
+QUERY = ConjunctiveQuery([PATTERN], [X])
+
+
+class TestProjectDedupLimit:
+    def test_project_tags_source_and_filters_partial(self):
+        project, sink = chain(Project(QUERY), _Sink())
+        project._receive(Batch([{X: URI("a"), Y: Literal("v")},
+                                {Y: Literal("w")}]), 0)
+        rows, source = sink.batches[0]
+        assert rows == [(URI("a"),)]
+        assert source == QUERY
+
+    def test_dedup_across_batches(self):
+        dedup, sink = chain(Dedup(), _Sink())
+        dedup._receive(Batch([1, 2, 1]), 0)
+        dedup._receive(Batch([2, 3]), 0)
+        assert [rows for rows, _ in sink.batches] == [[1, 2], [3]]
+
+    def test_limit_truncates_and_fires_once(self):
+        fired = []
+        limit = Limit(3, on_satisfied=lambda: fired.append(1))
+        sink = _Sink()
+        limit.connect(sink)
+        limit._receive(Batch([1, 2]), 0)
+        limit._receive(Batch([3, 4, 5]), 0)
+        limit._receive(Batch([6]), 0)
+        emitted = [row for rows, _ in sink.batches for row in rows]
+        assert emitted == [1, 2, 3]
+        assert fired == [1]
+        assert limit.satisfied
+        assert limit.stats.rows_dropped == 3  # 4, 5 truncated + 6 late
+
+    def test_limit_separates_overshoot_from_late_rows(self):
+        limit, sink = chain(Limit(2), _Sink())
+        limit._receive(Batch([1, 2, 3]), 0)   # overshoot: 3 truncated
+        assert limit.satisfied
+        assert limit.stats.rows_dropped == 1
+        assert limit.late_rows == 0           # nothing arrived late yet
+        limit._receive(Batch([4, 5]), 0)      # true late arrivals
+        assert limit.late_rows == 2
+        assert limit.stats.rows_dropped == 3
+
+    def test_limit_duplicates_do_not_count(self):
+        limit, sink = chain(Limit(2), _Sink())
+        limit._receive(Batch([1, 1, 1]), 0)
+        assert not limit.satisfied
+        limit._receive(Batch([2]), 0)
+        assert limit.satisfied
+
+    def test_limit_none_passes_through(self):
+        limit, sink = chain(Limit(None), _Sink())
+        limit._receive(Batch(list(range(100))), 0)
+        assert not limit.satisfied
+        assert sink.stats.rows_in == 100
+
+
+class TestCancelToken:
+    def test_cancel_idempotent_and_callbacks(self):
+        fired = []
+        token = CancelToken()
+        token.on_cancel(lambda: fired.append("a"))
+        token.cancel()
+        token.cancel()
+        assert fired == ["a"]
+        assert token.cancelled
+
+    def test_late_callback_fires_immediately(self):
+        token = CancelToken()
+        token.cancel()
+        fired = []
+        token.on_cancel(lambda: fired.append("late"))
+        assert fired == ["late"]
+
+    def test_link_cancels_scheduled_event(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(1.0, fired.append, "boom")
+        token = CancelToken()
+        token.link(handle)
+        token.cancel()
+        loop.run_until_idle()
+        assert fired == []
+
+
+def _reformulation(hops):
+    query = ConjunctiveQuery(
+        [TriplePattern(X, URI(f"S{hops}#p"), Y)], [X])
+    return Reformulation(query, tuple([None] * hops))  # type: ignore[list-item]
+
+
+class TestReformulationWaves:
+    def test_groups_by_hops(self):
+        plan = [_reformulation(0), _reformulation(1),
+                _reformulation(1), _reformulation(2)]
+        waves = reformulation_waves(plan)
+        assert [len(w) for w in waves] == [1, 2, 1]
+        assert all(r.hops == i for i, wave in enumerate(waves)
+                   for r in wave)
+
+    def test_empty_plan(self):
+        assert reformulation_waves([]) == []
+
+
+class TestPeerSearchForValidation:
+    def test_unknown_strategy_raises_synchronously(self, small_network):
+        net = small_network
+        peer = net.peer(net.peer_ids()[0])
+        with pytest.raises(ValueError):
+            peer.search_for(
+                ConjunctiveQuery([TriplePattern(X, URI("S#p"),
+                                                Literal("%v%"))], [X]),
+                strategy="telepathic")
