@@ -40,6 +40,18 @@ GridVine Peer Data Management System* (Cudré-Mauroux et al., VLDB
     across the batch — the hot-path optimisation for repeated /
     multi-user query traffic.
 
+``repro.stats`` / ``repro.optimizer``
+    The *statistics and optimizer layer*: every peer incrementally
+    summarizes its triple database into a compact versioned synopsis
+    (per-predicate counts, distinct values, a top-k value sketch,
+    known mapping edges), disseminated for free by piggybacking on
+    overlay maintenance traffic and merged with CRDT semantics.  A
+    cost-based optimizer turns the gossiped estimates into per-query
+    decisions — join order and mode, reformulation pruning by
+    expected yield, and the ``strategy="auto"`` choice among
+    local/iterative/recursive — recorded on every outcome as a
+    ``PlanDecision`` with estimated-vs-actual accounting.
+
 ``repro.resilience``
     Scripted churn scenarios on top of everything above: compose
     churn, overlay maintenance, self-organization and a query

@@ -25,8 +25,13 @@ booth:
     shows recall vs ground truth, latency percentiles, exact
     per-query messages and failover activity.
 
+``stats``
+    Deploy the corpus, let synopsis gossip piggyback on maintenance
+    for a while, then print one peer's statistics digest and how well
+    the network-wide cardinality estimates match the true corpus.
+
 ``experiments``
-    List the E1..E14 benchmark targets and how to run them.
+    List the E1..E16 benchmark targets and how to run them.
 """
 
 from __future__ import annotations
@@ -67,6 +72,8 @@ _EXPERIMENTS = [
      "bench_e14_churn_recall.py"),
     ("E15", "limit pushdown: messages saved by early stop",
      "bench_e15_limit_pushdown.py"),
+    ("E16", "cost-based auto strategy vs static choices",
+     "bench_e16_optimizer.py"),
 ]
 
 
@@ -92,6 +99,25 @@ def _deploy(args) -> tuple[GridVineNetwork, object]:
             dataset.ground_truth_mapping(names[i], names[i + 1]))
     net.settle()
     return net, dataset
+
+
+def _warm_statistics(net, seconds: float, interval: float = 20.0) -> None:
+    """Run maintenance for a while so synopsis gossip converges.
+
+    Synopses piggyback on the probes and sync pushes the maintenance
+    process sends anyway, so warming costs exactly the maintenance
+    traffic — zero messages are spent on statistics themselves.
+    """
+    import random as _random
+
+    from repro.pgrid.maintenance import MaintenanceProcess
+
+    maintenance = MaintenanceProcess(net.peers, interval=interval,
+                                     rng=_random.Random(9))
+    maintenance.start()
+    net.loop.run_until(net.loop.now + seconds)
+    maintenance.stop()
+    net.loop.run_until(net.loop.now + 2 * interval)
 
 
 def cmd_demo(args) -> int:
@@ -131,15 +157,35 @@ def cmd_query(args) -> int:
         net, domain=dataset.domain,
         policy=CreationPolicy(mappings_per_round=3))
     controller.run(max_rounds=args.rounds)
+    if args.strategy == "auto":
+        _warm_statistics(net, seconds=args.warm_stats)
     if args.strategy == "engine":
-        engine = net.create_engine(domain=dataset.domain, max_hops=8)
+        engine = net.create_engine(domain=dataset.domain,
+                                   max_hops=args.max_hops)
         outcome = engine.search_for(query, limit=limit)
     else:
-        outcome = net.search_for(query, strategy=args.strategy, max_hops=8,
-                                 limit=limit)
+        outcome = net.search_for(query, strategy=args.strategy,
+                                 max_hops=args.max_hops, limit=limit)
     print(f"query    : {query}")
     strategy_note = "" if limit is None else f", limit {limit} pushed down"
     print(f"strategy : {args.strategy}{strategy_note}")
+    decision = outcome.decision
+    if decision is not None:
+        if decision.fallback:
+            print("optimizer: no statistics propagated yet; static "
+                  f"{decision.strategy} fallback")
+        else:
+            estimated = ("?" if decision.estimated_messages is None
+                         else f"{decision.estimated_messages:.0f}")
+            rows = ("?" if decision.estimated_rows is None
+                    else f"{decision.estimated_rows:.1f}")
+            print(f"optimizer: chose {decision.strategy} "
+                  f"({decision.reason})")
+            print(f"           estimated {rows} rows / ~{estimated} "
+                  f"messages; actual {outcome.result_count} rows / "
+                  f"{outcome.messages} messages; "
+                  f"{decision.reformulations_pruned} reformulation(s) "
+                  f"pruned")
     print(f"results  : {outcome.result_count}")
     for row in outcome.sorted_results():
         print("  " + ", ".join(str(t) for t in row))
@@ -177,7 +223,8 @@ def cmd_batch(args) -> int:
         net, domain=dataset.domain,
         policy=CreationPolicy(mappings_per_round=3))
     controller.run(max_rounds=args.rounds)
-    engine = net.create_engine(domain=dataset.domain, max_hops=8)
+    engine = net.create_engine(domain=dataset.domain,
+                               max_hops=args.max_hops)
     workload = QueryWorkloadGenerator(dataset, seed=args.seed)
     distinct = workload.queries(args.queries)
     # Interleave repeats the way concurrent users would issue them.
@@ -220,6 +267,7 @@ def cmd_scenario(args) -> int:
         mean_downtime=args.downtime,
         num_queries=args.queries,
         strategy=args.strategy,
+        max_hops=args.max_hops,
         limit=args.limit if args.limit > 0 else None,
     )
     print(f"scenario: {spec.num_peers} peers (replication "
@@ -231,6 +279,57 @@ def cmd_scenario(args) -> int:
     report = ScenarioRunner.from_spec(spec).run()
     for line in report.summary():
         print(line)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    net, dataset = _deploy(args)
+    controller = SelfOrganizationController(
+        net, domain=dataset.domain,
+        policy=CreationPolicy(mappings_per_round=3))
+    controller.run(max_rounds=args.rounds)
+    _warm_statistics(net, seconds=args.warm_stats)
+    node_id = args.node if args.node else net.peer_ids()[0]
+    peer = net.peer(node_id)
+    digest = peer.synopsis_digest()
+    print(f"peer {node_id}: {digest.triples} local triples, "
+          f"{len(digest.predicates)} predicates, "
+          f"{len(digest.mappings)} mapping edge(s), "
+          f"digest version {digest.version}")
+    ranked = sorted(digest.predicates,
+                    key=lambda d: (-d.triples, d.predicate))
+    for entry in ranked[:args.top]:
+        sketch = ", ".join(f"{value!r}x{count}"
+                           for value, count in entry.top_objects[:3])
+        print(f"  {entry.predicate:<28} {entry.triples:>5} triples, "
+              f"{entry.distinct_subjects} subj / "
+              f"{entry.distinct_objects} obj distinct"
+              + (f"  top: {sketch}" if sketch else ""))
+    estimator = peer.optimizer.estimator
+    coverage = ("full" if estimator.full_coverage() else "partial")
+    print(f"registry : digests of {len(peer.synopses)} other peer(s) "
+          f"(of {len(net.peers) - 1}), {coverage} key-space coverage, "
+          f"{estimator.known_edge_count()} mapping edge(s) known "
+          f"network-wide")
+    # Network-wide estimate error vs the generator's ground truth.
+    actual: dict[str, int] = {}
+    for triple in dataset.triples:
+        key = triple.predicate.value
+        actual[key] = actual.get(key, 0) + 1
+    errors = []
+    worst: tuple[float, str] | None = None
+    for predicate, true_count in sorted(actual.items()):
+        estimate = estimator.predicate_estimate(predicate)
+        estimated = estimate.triples if estimate is not None else 0
+        error = abs(estimated - true_count) / true_count
+        errors.append(error)
+        if worst is None or error > worst[0]:
+            worst = (error, predicate)
+    mean_error = sum(errors) / len(errors) if errors else 0.0
+    print(f"estimates: {len(actual)} true predicates, mean relative "
+          f"error {mean_error:.1%}"
+          + (f", worst {worst[0]:.1%} on {worst[1]}"
+             if worst is not None else ""))
     return 0
 
 
@@ -269,16 +368,24 @@ def build_parser() -> argparse.ArgumentParser:
                                      'EMBL#Organism, %%Aspergillus%%))"')
     query.add_argument("--strategy", default="iterative",
                        choices=["local", "iterative", "recursive",
-                                "engine"],
+                                "engine", "auto"],
                        help="local: no reformulation; iterative: the "
                             "origin reformulates; recursive: schema "
                             "peers reformulate; engine: cached plans "
-                            "+ batched execution")
+                            "+ batched execution; auto: the cost-based "
+                            "optimizer picks per query from gossiped "
+                            "statistics")
     query.add_argument("--limit", type=int, default=10,
                        help="result-row cap pushed into distributed "
                             "execution (limit pushdown): the query "
                             "stops spending messages once this many "
                             "distinct rows arrived; 0 = unlimited")
+    query.add_argument("--max-hops", type=int, default=8,
+                       help="mapping-path exploration depth (BFS "
+                            "depth / recursive TTL)")
+    query.add_argument("--warm-stats", type=float, default=600.0,
+                       help="virtual seconds of maintenance gossip "
+                            "before an --strategy auto query")
     _add_deploy_args(query)
     query.set_defaults(func=cmd_query)
 
@@ -289,6 +396,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distinct queries in the workload")
     batch.add_argument("--repeat", type=int, default=5,
                        help="how many times each query recurs")
+    batch.add_argument("--max-hops", type=int, default=8,
+                       help="reformulation planning depth")
     _add_deploy_args(batch)
     batch.set_defaults(func=cmd_batch)
 
@@ -311,7 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "(0: pre-insert the ground-truth chain)")
     scenario.add_argument("--strategy", default="iterative",
                           choices=["local", "iterative", "recursive",
-                                   "engine"])
+                                   "engine", "auto"])
+    scenario.add_argument("--max-hops", type=int, default=8,
+                          help="mapping-path exploration depth")
     scenario.add_argument("--limit", type=int, default=0,
                           help="per-query result cap pushed into "
                                "execution (0 = unlimited)")
@@ -319,6 +430,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable replica-aware failover (A/B "
                                "baseline)")
     scenario.set_defaults(func=cmd_scenario)
+
+    stats = sub.add_parser(
+        "stats", help="print a peer's synopsis digest and the "
+                      "network-wide cardinality estimate error")
+    stats.add_argument("--node", default=None,
+                       help="peer to inspect (default: first peer)")
+    stats.add_argument("--warm-stats", type=float, default=600.0,
+                       help="virtual seconds of maintenance gossip "
+                            "before reading the registry")
+    stats.add_argument("--top", type=int, default=8,
+                       help="predicates to list from the digest")
+    _add_deploy_args(stats)
+    stats.set_defaults(func=cmd_stats)
 
     experiments = sub.add_parser("experiments",
                                  help="list benchmark targets")

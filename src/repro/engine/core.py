@@ -38,9 +38,14 @@ from repro.engine.versioning import MappingVersionClock
 from repro.mapping.graph import MappingGraph
 from repro.mapping.model import SchemaMapping
 from repro.mediation.query import QueryOutcome
+from repro.optimizer.core import PlanDecision
 from repro.rdf.parser import parse_search_for
 from repro.rdf.patterns import ConjunctiveQuery
-from repro.reformulation.planner import Reformulation, plan_reformulations
+from repro.reformulation.planner import (
+    Reformulation,
+    plan_reformulations,
+    prune_reformulations,
+)
 from repro.util.stats import ratio
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
@@ -65,6 +70,8 @@ class EngineStats:
     limits_hit: int = 0
     #: shared scans never started because limits stopped their batch
     scans_skipped: int = 0
+    #: reformulations dropped by cost-based pruning (``optimize=True``)
+    reformulations_pruned: int = 0
     cache: PlanCacheStats = field(default_factory=PlanCacheStats)
 
     @property
@@ -90,6 +97,7 @@ class EngineStats:
             "messages": self.messages,
             "limits_hit": self.limits_hit,
             "scans_skipped": self.scans_skipped,
+            "reformulations_pruned": self.reformulations_pruned,
             "cache": self.cache.snapshot(),
         }
 
@@ -135,14 +143,26 @@ class QueryEngine:
         ``GridVineNetwork.search_for``).
     cache_capacity:
         Plan-cache size; ``0`` disables caching (cold baseline).
+    optimize:
+        When True, plans are pruned by the origin peer's cost-based
+        optimizer at execution time (reformulations with zero expected
+        yield are never fetched — the message saving) and each
+        reformulation's hash join folds its inputs in
+        estimated-cardinality order (an intermediate-result-size
+        saving; the shared-scan fetch set is unchanged).  Cached plans
+        stay unpruned, so statistics arriving later sharpen execution
+        without re-planning.  Defaults to False (bit-identical to the
+        historical executor).
     """
 
     def __init__(self, network: "GridVineNetwork",
                  domain: str | None = None,
                  max_hops: int = 5,
-                 cache_capacity: int = 256) -> None:
+                 cache_capacity: int = 256,
+                 optimize: bool = False) -> None:
         self.network = network
         self.max_hops = max_hops
+        self.optimize = optimize
         self.clock = MappingVersionClock()
         self.cache = PlanCache(self.clock, capacity=cache_capacity)
         self.graph = MappingGraph()
@@ -240,6 +260,18 @@ class QueryEngine:
         ]
         plans = [self.plan(q, max_hops) for q in parsed]
         peer = self.network._origin(origin)
+        optimizer = peer.optimizer if self.optimize else None
+        pruned_counts = [0] * len(plans)
+        if optimizer is not None:
+            executable: list[list[Reformulation]] = []
+            for index, plan in enumerate(plans):
+                kept, pruned = prune_reformulations(
+                    plan, optimizer.reformulation_yield,
+                    optimizer.min_expected_yield,
+                )
+                executable.append(kept)
+                pruned_counts[index] = pruned
+            plans = executable
         metrics = self.network.network.metrics
         # Per-operation attribution: the batch's pattern fetches (and
         # everything they cause downstream) carry this tag, so the
@@ -250,7 +282,8 @@ class QueryEngine:
         try:
             with self.network.network.operation(op_tag):
                 batch_future = execute_batch(peer, parsed, plans,
-                                             limit=limit)
+                                             limit=limit,
+                                             optimizer=optimizer)
             outcomes, fetch_stats = self.network.loop.run_until_complete(
                 batch_future
             )
@@ -259,6 +292,18 @@ class QueryEngine:
             metrics.end_operation(op_tag)
         if len(outcomes) == 1:
             outcomes[0].messages = messages
+        if optimizer is not None:
+            for outcome, parsed_query, pruned in zip(outcomes, parsed,
+                                                     pruned_counts):
+                outcome.decision = PlanDecision(
+                    requested="engine", strategy="engine",
+                    fallback=not optimizer.has_statistics(parsed_query),
+                    known_peers=optimizer.estimator.known_peers(),
+                    reformulations_pruned=pruned,
+                    estimated_rows=optimizer.estimator.query_cardinality(
+                        parsed_query),
+                )
+            self.stats.reformulations_pruned += sum(pruned_counts)
         self.stats.batches_executed += 1
         self.stats.queries_executed += len(parsed)
         self.stats.patterns_total += fetch_stats.patterns_total

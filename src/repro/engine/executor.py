@@ -142,6 +142,7 @@ def execute_batch(
     queries: list[ConjunctiveQuery],
     plans: list[list[Reformulation]],
     limit: int | None = None,
+    optimizer=None,
 ) -> Future:
     """Run a batch of planned queries from ``peer``.
 
@@ -152,6 +153,14 @@ def execute_batch(
     as the iterative strategy would have produced.  ``limit`` (when
     given) caps every query's distinct result rows and enables
     wave-staged fetching with cooperative early stop.
+
+    ``optimizer`` (a :class:`~repro.optimizer.core.QueryOptimizer`,
+    passed by engines running with ``optimize=True``) orders each
+    reformulation's *join inputs* by estimated cardinality — the
+    shared scans still fetch the same pattern set (message count is
+    unchanged), but the hash join folds most-selective-first, keeping
+    intermediate binding sets small.  Without one the historical
+    pattern order applies.
     """
     if len(queries) != len(plans):
         raise ValueError("one plan per query required")
@@ -170,8 +179,13 @@ def execute_batch(
         # wave by wave, so flattening the waves re-yields plan order.
         for wave_index, wave in enumerate(reformulation_waves(plan)):
             for reformulation in wave:
+                patterns = list(reformulation.query.patterns)
+                if optimizer is not None:
+                    ordered = optimizer.scan_order(reformulation.query)
+                    if ordered is not None:
+                        patterns = ordered
                 per_pattern: list[tuple[int, dict]] = []
-                for pattern in reformulation.query.patterns:
+                for pattern in patterns:
                     stats.patterns_total += 1
                     canonical, inverse = canonicalize_pattern(pattern)
                     index = fetch_index.get(canonical)

@@ -123,11 +123,15 @@ class BoundJoin(Operator):
     remaining fetches.
     """
 
-    def __init__(self, query: ConjunctiveQuery, fanout_cap: int) -> None:
+    def __init__(self, query: ConjunctiveQuery, fanout_cap: int,
+                 ordered: list[TriplePattern] | None = None) -> None:
         super().__init__("bound-join")
         self.query = query
         self.fanout_cap = fanout_cap
-        self.ordered = sorted(query.patterns, key=selectivity_rank)
+        #: step order: the optimizer's cardinality-based order when
+        #: supplied, else the static constant-shape heuristic
+        self.ordered = (list(ordered) if ordered is not None
+                        else sorted(query.patterns, key=selectivity_rank))
         self._ctx: PipelineContext | None = None
 
     def start(self, ctx: PipelineContext) -> None:
@@ -339,12 +343,19 @@ class Reformulate(Operator):
     """
 
     def __init__(self, query: ConjunctiveQuery, max_hops: int,
-                 spawn: Callable[[PipelineContext, ConjunctiveQuery], None]
-                 ) -> None:
+                 spawn: Callable[[PipelineContext, ConjunctiveQuery], None],
+                 prune: Callable[[ConjunctiveQuery, float], bool] | None
+                 = None) -> None:
         super().__init__("reformulate")
         self.query = query
         self.max_hops = max_hops
         self._spawn_subplan = spawn
+        #: optimizer prune predicate ``keep(query, confidence)``; a
+        #: pruned translation is neither executed nor BFS-extended, so
+        #: its pattern fetches *and* schema-space fetches are saved
+        self._prune = prune
+        #: translations dropped by the prune predicate
+        self.pruned = 0
         self.seen: set[ConjunctiveQuery] = {query}
         #: schema -> list of (query, hops) posed against it
         self._queries_by_schema: dict[
@@ -410,6 +421,10 @@ class Reformulate(Operator):
             if translated is None or translated in self.seen:
                 continue
             self.seen.add(translated)
+            if (self._prune is not None
+                    and not self._prune(translated, mapping.confidence)):
+                self.pruned += 1
+                continue
             self._spawn_subplan(ctx, translated)
             self._register(translated, hops + 1)
 

@@ -49,8 +49,9 @@ from repro.simnet.events import CancelToken, Future
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.mediation.peer import GridVinePeer
 
-#: strategies :func:`run_query_plan` knows how to build
-STRATEGIES = ("local", "iterative", "recursive")
+#: strategies :func:`run_query_plan` knows how to build (``"auto"``
+#: resolves to one of the other three via the peer's optimizer)
+STRATEGIES = ("local", "iterative", "recursive", "auto")
 
 
 def attach_execution_subplan(ctx: PipelineContext,
@@ -65,16 +66,33 @@ def attach_execution_subplan(ctx: PipelineContext,
     substituting join.  Either way the subplan ends in
     ``Project -> Dedup`` so exactly one attributable row stream per
     reformulation reaches ``downstream``.
+
+    When the pipeline carries an optimizer decision (``ctx.decision``,
+    set by ``strategy="auto"``), the join mode may be overridden per
+    query and pattern scans / bound-join steps run in the optimizer's
+    estimated-cardinality order; otherwise the historical static
+    behaviour applies unchanged.
     """
     peer = ctx.peer
+    decision = ctx.decision
+    join_mode = peer.join_mode
+    ordered = None
+    if decision is not None:
+        if decision.join_mode is not None:
+            join_mode = decision.join_mode
+        optimizer = getattr(peer, "optimizer", None)
+        if optimizer is not None:
+            ordered = optimizer.scan_order(query)
     sources: list[Operator] = []
     tail: Operator
-    if peer.join_mode == "bound" and len(query.patterns) > 1:
-        tail = BoundJoin(query, peer.bound_join_fanout_cap)
+    if join_mode == "bound" and len(query.patterns) > 1:
+        tail = BoundJoin(query, peer.bound_join_fanout_cap,
+                         ordered=ordered)
         sources.append(tail)
     else:
         join = HashJoin()
-        for pattern in query.patterns:
+        for pattern in (ordered if ordered is not None
+                        else query.patterns):
             scan = PatternScan(pattern)
             scan.connect(join)
             sources.append(scan)
@@ -114,6 +132,13 @@ def run_query_plan(peer: "GridVinePeer", query: ConjunctiveQuery,
                    limit: int | None = None) -> Future:
     """Build, wire and start the operator DAG of one ``SearchFor``.
 
+    ``strategy="auto"`` consults the peer's cost-based optimizer: the
+    executed strategy, join mode, scan order and reformulation pruning
+    are chosen from propagated statistics (falling back to the static
+    iterative path when none exist), and the
+    :class:`~repro.optimizer.core.PlanDecision` is recorded on the
+    outcome.
+
     Returns a future resolving to the :class:`~repro.mediation.query.
     QueryOutcome`, with streaming statistics (first-result latency,
     limit/cancellation accounting, per-operator counters) filled in.
@@ -128,6 +153,13 @@ def run_query_plan(peer: "GridVinePeer", query: ConjunctiveQuery,
     ctx = PipelineContext(peer)
     outcome = QueryOutcome(query=query, strategy=strategy,
                            issued_at=peer.loop.now, limit=limit)
+    decision = None
+    if strategy == "auto":
+        decision = peer.optimizer.choose_strategy(query, max_hops)
+        outcome.decision = decision
+        strategy = decision.strategy
+        if not decision.fallback:
+            ctx.decision = decision
     union = Union()
     limit_op = Limit(limit)
     collect = Collect(ctx, outcome=outcome)
@@ -150,7 +182,12 @@ def run_query_plan(peer: "GridVinePeer", query: ConjunctiveQuery,
                                      + collect.stats.rows_dropped)
         outcome.operator_stats = ctx.operator_snapshots()
         if reformulate is not None:
-            outcome.reformulations_explored = len(reformulate.seen) - 1
+            # Pruned translations were derived but never executed —
+            # they count as pruned, not as explored.
+            outcome.reformulations_explored = (
+                len(reformulate.seen) - 1 - reformulate.pruned)
+            if decision is not None:
+                decision.reformulations_pruned = reformulate.pruned
         elif fanout is not None:
             outcome.reformulations_explored = max(
                 0, len(outcome.results_by_query) - 1)
@@ -170,9 +207,13 @@ def run_query_plan(peer: "GridVinePeer", query: ConjunctiveQuery,
     if strategy == "local":
         attach_execution_subplan(ctx, query, union)
     elif strategy == "iterative":
+        prune = None
+        if ctx.decision is not None:
+            prune = peer.optimizer.keep_reformulation
         reformulate = Reformulate(
             query, max_hops,
-            lambda c, q: attach_execution_subplan(c, q, union))
+            lambda c, q: attach_execution_subplan(c, q, union),
+            prune=prune)
         reformulate.connect(union)
         ctx.start_source(reformulate)
     else:  # "recursive"

@@ -225,6 +225,11 @@ class PipelineContext:
         self.operators: list[Operator] = []
         self._registered: set[int] = set()
         self.issued_at = peer.loop.now
+        #: the optimizer's :class:`~repro.optimizer.core.PlanDecision`
+        #: steering this pipeline (``None`` on static strategies);
+        #: subplans spawned per reformulation inherit it via the
+        #: shared context
+        self.decision = None
 
     @property
     def cancelled(self) -> bool:

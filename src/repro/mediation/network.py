@@ -206,17 +206,21 @@ class GridVineNetwork:
 
     def create_engine(self, domain: str | None = None,
                       max_hops: int = 5,
-                      cache_capacity: int = 256):
+                      cache_capacity: int = 256,
+                      optimize: bool = False):
         """A new :class:`~repro.engine.core.QueryEngine` bound to this
         deployment (plan caching + batched execution).
 
         Pass ``domain`` to backfill the engine's mapping-graph mirror
         from the overlay when mappings were already inserted; engines
         created before any mapping stay in sync automatically.
+        ``optimize=True`` enables cost-based reformulation pruning and
+        scan ordering from propagated statistics.
         """
         from repro.engine.core import QueryEngine
         return QueryEngine(self, domain=domain, max_hops=max_hops,
-                           cache_capacity=cache_capacity)
+                           cache_capacity=cache_capacity,
+                           optimize=optimize)
 
     # ------------------------------------------------------------------
     # Synchronous mediation operations

@@ -67,11 +67,13 @@ from repro.mediation.records import (
     TripleRecord,
 )
 from repro.pgrid.peer import PGridPeer
+from repro.optimizer.core import QueryOptimizer
 from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
 from repro.rdf.triples import Triple
 from repro.schema.model import Schema
 from repro.simnet.events import CancelToken, Future, gather
 from repro.simnet.network import Message
+from repro.stats.synopsis import PeerSynopsis, mapping_edges
 from repro.storage.triplestore import TripleStore
 from repro.util.guid import mint_guid
 from repro.util.keys import Key
@@ -128,6 +130,39 @@ class GridVinePeer(PGridPeer):
         #: issuing path of insert/remove/deprecate — the versioning
         #: signal consumed by :mod:`repro.engine` plan caches
         self.mapping_hooks: list = []
+        #: monotone counter bumped on local mapping-record changes;
+        #: folded into the synopsis digest version
+        self._mapping_stats_version = 0
+        self._digest_cache: tuple[int, PeerSynopsis] | None = None
+        #: cost-based query optimizer over the peer's synopsis
+        #: registry; consulted by ``strategy="auto"`` and by engines
+        #: executing with ``optimize=True`` (static strategies keep
+        #: their historical behaviour bit for bit)
+        self.optimizer = QueryOptimizer(self)
+
+    # ------------------------------------------------------------------
+    # Statistics (see repro.stats)
+    # ------------------------------------------------------------------
+
+    def synopsis_digest(self) -> PeerSynopsis:
+        """This peer's current statistics digest.
+
+        Combines the triple database's incrementally maintained
+        synopsis with the active mapping edges stored here; the
+        version is the sum of both monotone change counters, so any
+        local mutation makes the next digest win merges.
+        """
+        version = self.db.synopsis.version + self._mapping_stats_version
+        if (self._digest_cache is not None
+                and self._digest_cache[0] == version):
+            return self._digest_cache[1]
+        digest = self.db.synopsis.digest(
+            self.node_id, version=version,
+            mappings=mapping_edges(self.local_mappings.values()),
+            path=self.path.bits,
+        )
+        self._digest_cache = (version, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Identifier minting
@@ -296,8 +331,12 @@ class GridVinePeer(PGridPeer):
         (no reformulation), ``"iterative"`` (the origin walks mapping
         paths itself) or ``"recursive"`` (reformulation is delegated
         to the schema peers) — see the module docstring for the
-        paper's definitions.  Conjunctive joins additionally honour
-        :attr:`join_mode` (``"parallel"`` or ``"bound"``).
+        paper's definitions.  ``"auto"`` lets the peer's cost-based
+        :attr:`optimizer` pick among the three per query (plus join
+        mode, scan order and reformulation pruning) from propagated
+        statistics; the :class:`~repro.optimizer.core.PlanDecision`
+        is recorded on the outcome.  Conjunctive joins otherwise
+        honour :attr:`join_mode` (``"parallel"`` or ``"bound"``).
 
         ``max_hops`` bounds the length of mapping paths explored (the
         recursive strategy's TTL / the iterative strategy's BFS
@@ -533,6 +572,7 @@ class GridVinePeer(PGridPeer):
             self._republish_connectivity(value.schema.name)
         elif isinstance(value, MappingRecord):
             self.local_mappings[value.mapping.mapping_id] = value.mapping
+            self._mapping_stats_version += 1
             self._republish_connectivity(value.mapping.source_schema)
         elif isinstance(value, IncomingMappingRecord):
             self.incoming_mappings[value.mapping.mapping_id] = value.mapping
@@ -556,6 +596,7 @@ class GridVinePeer(PGridPeer):
             self.local_schemas.pop(value.schema.name, None)
         elif isinstance(value, MappingRecord):
             self.local_mappings.pop(value.mapping.mapping_id, None)
+            self._mapping_stats_version += 1
             self._republish_connectivity(value.mapping.source_schema)
         elif isinstance(value, IncomingMappingRecord):
             self.incoming_mappings.pop(value.mapping.mapping_id, None)

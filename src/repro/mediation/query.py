@@ -52,6 +52,19 @@ class QueryOutcome:
     fetches_skipped: int = 0
     #: per-operator row/fetch counters, in plan order
     operator_stats: list = field(default_factory=list)
+    # -- optimizer record (strategy="auto" / optimizing engines) -------
+    #: the :class:`~repro.optimizer.core.PlanDecision` behind this
+    #: execution — chosen strategy, join mode, scan order, pruning and
+    #: the estimated rows/messages to compare against the measured
+    #: ``result_count`` / ``messages`` (``None`` on static paths)
+    decision: object | None = None
+
+    @property
+    def executed_strategy(self) -> str:
+        """The strategy that actually ran (``auto`` resolves here)."""
+        if self.decision is not None:
+            return self.decision.strategy  # type: ignore[attr-defined]
+        return self.strategy
 
     def record(self, produced_by: ConjunctiveQuery,
                rows: set[tuple[GroundTerm, ...]]) -> None:

@@ -20,6 +20,11 @@ the guarantees from eroding under sustained churn:
 of an overlay with per-peer jitter (synchronized maintenance storms
 would be unrealistic and would hide contention effects).
 
+Both message types additionally **piggyback synopsis digests**
+(:mod:`repro.stats`): probes, probe acks and sync pushes carry a
+bounded batch of per-peer statistics in their payload, so cardinality
+estimates spread epidemically at zero extra message cost.
+
 .. warning::
    While a maintenance process is running, the event queue never
    drains — ticks reschedule themselves indefinitely.  Advance the
@@ -146,7 +151,13 @@ class MaintenanceProcess:
             token = f"{peer.node_id}:{next(self._tokens)}"
             peer._probe_pending[token] = (level, ref)
             peer.maintenance_stats["probes_sent"] += 1
-            peer.send(ref, "probe", {"token": token})
+            payload: dict = {"token": token}
+            if peer.stats_gossip:
+                # Piggyback synopsis digests on the probe we are
+                # sending anyway — statistics dissemination costs zero
+                # extra messages (see repro.stats.gossip).
+                payload["synopses"] = peer.gossip_synopses()
+            peer.send(ref, "probe", payload)
             peer.loop.schedule(self.probe_timeout, self._check_probe,
                                peer.node_id, token, level, ref)
 
@@ -236,4 +247,7 @@ class MaintenanceProcess:
             for value in values
         ]
         peer.maintenance_stats["sync_pushes"] += 1
-        peer.send(replica, "sync_push", {"items": items})
+        payload: dict = {"items": items}
+        if peer.stats_gossip:
+            payload["synopses"] = peer.gossip_synopses()
+        peer.send(replica, "sync_push", payload)

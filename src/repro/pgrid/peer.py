@@ -34,6 +34,8 @@ from typing import Any
 
 from repro.simnet.events import Future
 from repro.simnet.network import Message, Node
+from repro.stats.gossip import PIGGYBACK_BUDGET, PULL_BUDGET
+from repro.stats.synopsis import PeerSynopsis, SynopsisRegistry
 from repro.util.keys import Key, common_prefix_length
 
 
@@ -156,6 +158,53 @@ class PGridPeer(Node):
             "probes_sent": 0, "refs_dropped": 0, "refs_added": 0,
             "sync_pushes": 0, "values_repaired": 0,
         }
+        #: synopsis digests known about other peers (merged from
+        #: piggybacked maintenance traffic and anti-entropy pulls)
+        self.synopses = SynopsisRegistry()
+        #: whether to piggyback synopsis digests on maintenance
+        #: messages (zero extra messages either way; the flag exists
+        #: for A/B attribution checks)
+        self.stats_gossip = True
+        #: deterministic round-robin position for gossip batches
+        self._gossip_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Statistics dissemination (see repro.stats.gossip)
+    # ------------------------------------------------------------------
+
+    def synopsis_digest(self) -> PeerSynopsis | None:
+        """This peer's own current digest (``None`` at this layer —
+        mediation peers with a triple database override this)."""
+        return None
+
+    def gossip_synopses(self, budget: int = PIGGYBACK_BUDGET
+                        ) -> list[PeerSynopsis]:
+        """The digest batch to piggyback on one outgoing message.
+
+        Always leads with this peer's own fresh digest, then a
+        round-robin slice of the registry so repeated exchanges cycle
+        through everything this peer knows.
+        """
+        batch: list[PeerSynopsis] = []
+        own = self.synopsis_digest()
+        if own is not None:
+            batch.append(own)
+        known = [d for d in self.synopses.digests()
+                 if d.peer_id != self.node_id]
+        if known and len(batch) < budget:
+            take = min(budget - len(batch), len(known))
+            start = self._gossip_cursor % len(known)
+            self._gossip_cursor += take
+            batch.extend((known + known)[start:start + take])
+        return batch
+
+    def receive_synopses(self, digests) -> int:
+        """Merge piggybacked/pulled digests; returns accepted count."""
+        if not digests:
+            return 0
+        return self.synopses.merge(
+            d for d in digests if d.peer_id != self.node_id
+        )
 
     # ------------------------------------------------------------------
     # Local storage
@@ -381,10 +430,23 @@ class PGridPeer(Node):
         elif message.kind == "replicate":
             self._handle_replicate(message)
         elif message.kind == "probe":
-            self.send(message.src, "probe_ack",
-                      {"token": message.payload["token"]})
+            self.receive_synopses(message.payload.get("synopses") or ())
+            ack: dict[str, Any] = {"token": message.payload["token"]}
+            if self.stats_gossip and "synopses" in message.payload:
+                # Piggyback the return direction only when the prober
+                # gossips too, keeping A/B runs symmetric.
+                ack["synopses"] = self.gossip_synopses()
+            self.send(message.src, "probe_ack", ack)
         elif message.kind == "probe_ack":
             self._probe_pending.pop(message.payload["token"], None)
+            self.receive_synopses(message.payload.get("synopses") or ())
+        elif message.kind == "stats_pull":
+            self.send(message.src, "stats_push", {
+                "synopses": self.gossip_synopses(
+                    message.payload.get("budget") or PULL_BUDGET),
+            })
+        elif message.kind == "stats_push":
+            self.receive_synopses(message.payload.get("synopses") or ())
         elif message.kind == "refs_request":
             self._handle_refs_request(message)
         elif message.kind == "refs_reply":
@@ -669,6 +731,7 @@ class PGridPeer(Node):
 
     def _handle_sync_push(self, message: Message) -> None:
         """Anti-entropy: merge a replica's store snapshot."""
+        self.receive_synopses(message.payload.get("synopses") or ())
         for bits, value in message.payload["items"]:
             if self.local_merge(Key(bits), value):
                 self.maintenance_stats["values_repaired"] += 1

@@ -33,7 +33,8 @@ from repro.datagen.workload import QueryWorkloadGenerator
 from repro.pgrid.maintenance import MaintenanceProcess
 from repro.rdf.patterns import ConjunctiveQuery
 from repro.simnet.churn import ChurnProcess
-from repro.util.stats import percentile
+from repro.stats.gossip import StatsAntiEntropy
+from repro.util.stats import percentile_or_none
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from repro.mediation.network import GridVineNetwork
@@ -75,8 +76,16 @@ class ScenarioSpec:
     #: virtual seconds between consecutive queries
     query_interval: float = 30.0
     #: ``"local"`` / ``"iterative"`` / ``"recursive"`` / ``"engine"``
+    #: / ``"auto"`` (cost-based per-query choice from synopses)
     strategy: str = "iterative"
     max_hops: int = 8
+    #: whether the origin runs periodic synopsis anti-entropy pulls
+    #: (piggybacked gossip alone converges slowly under churn);
+    #: ``None`` = enabled exactly when the strategy needs statistics
+    #: (``"auto"``)
+    stats_pull: bool | None = None
+    #: virtual seconds between anti-entropy pull rounds
+    stats_pull_interval: float = 30.0
     #: per-query distinct-result cap pushed into the streaming
     #: pipeline (``None`` = unlimited); a satisfied limit
     #: cooperatively cancels the query's remaining fan-out even while
@@ -95,9 +104,13 @@ class ScenarioReport:
     #: mean per-query recall against ground truth
     recall: float = 0.0
     per_query_recall: list[float] = field(default_factory=list)
-    latency_p50: float = 0.0
-    latency_p90: float = 0.0
-    latency_p99: float = 0.0
+    #: latency percentiles; ``None`` only when the scenario issued
+    #: zero queries — issued-but-incomplete queries still record
+    #: their (timeout) latency, so any run with ``num_queries > 0``
+    #: reports floats
+    latency_p50: float | None = None
+    latency_p90: float | None = None
+    latency_p99: float | None = None
     #: messages attributed to the query workload (exact, per-operation)
     query_messages: int = 0
     #: all messages on the network, background traffic included
@@ -111,7 +124,8 @@ class ScenarioReport:
     ops_gave_up: int = 0
     # -- streaming statistics (limit pushdown) -------------------------
     #: median virtual seconds from issue to a query's first result
-    first_result_p50: float = 0.0
+    #: (``None`` when no query returned any row)
+    first_result_p50: float | None = None
     #: queries whose result limit was reached (cooperative cancel)
     limit_hits: int = 0
     #: overlay fetches skipped across all queries thanks to early stop
@@ -122,14 +136,27 @@ class ScenarioReport:
     ops_cancelled: int = 0
     #: engine statistics snapshot (``strategy == "engine"`` only)
     engine_stats: dict | None = None
+    # -- statistics / optimizer (strategy == "auto") -------------------
+    #: synopsis digests the origin knew when the workload ended
+    synopses_known: int = 0
+    #: anti-entropy pull messages the origin sent
+    stats_pulls: int = 0
+    #: executed-strategy histogram of the optimizer's auto decisions
+    auto_strategies: dict = field(default_factory=dict)
+    #: reformulations pruned by expected yield across all queries
+    reformulations_pruned: int = 0
 
     def summary(self) -> list[str]:
         """Human-readable report lines (CLI / bench output)."""
+
+        def _sec(value: float | None) -> str:
+            return "n/a" if value is None else f"{value:.2f}s"
+
         lines = [
             f"queries  : {self.queries_complete}/{self.queries_issued} "
             f"complete, mean recall {self.recall:.3f}",
-            f"latency  : p50 {self.latency_p50:.2f}s  "
-            f"p90 {self.latency_p90:.2f}s  p99 {self.latency_p99:.2f}s "
+            f"latency  : p50 {_sec(self.latency_p50)}  "
+            f"p90 {_sec(self.latency_p90)}  p99 {_sec(self.latency_p99)} "
             f"(simulated)",
             f"messages : {self.query_messages} attributed to queries, "
             f"{self.total_messages} total on the wire, "
@@ -140,13 +167,26 @@ class ScenarioReport:
             f"{self.ops_gave_up} operations gave up",
         ]
         if self.spec.limit is not None:
+            first = ("n/a" if self.first_result_p50 is None
+                     else f"{self.first_result_p50:.2f}s")
             lines.append(
                 f"limit    : {self.limit_hits}/{self.queries_issued} "
                 f"queries hit limit {self.spec.limit}, first result "
-                f"p50 {self.first_result_p50:.2f}s, "
+                f"p50 {first}, "
                 f"{self.fetches_skipped} fetches skipped, "
                 f"{self.ops_cancelled} in-flight ops cancelled, "
                 f"{self.rows_after_cancel} late rows discarded"
+            )
+        if self.spec.strategy == "auto":
+            picks = ", ".join(
+                f"{count}x {name}"
+                for name, count in sorted(self.auto_strategies.items())
+            ) or "none"
+            lines.append(
+                f"optimizer: picks {picks}; "
+                f"{self.reformulations_pruned} reformulation(s) pruned; "
+                f"origin knew {self.synopses_known} synopsis digest(s) "
+                f"({self.stats_pulls} anti-entropy pulls)"
             )
         if self.engine_stats is not None:
             cache = self.engine_stats["cache"]
@@ -320,6 +360,19 @@ class ScenarioRunner:
                 protected={self.origin},
             )
             churn.start()
+        anti_entropy = None
+        pull = (spec.stats_pull if spec.stats_pull is not None
+                else spec.strategy == "auto")
+        if pull:
+            # Piggybacked gossip alone converges slowly while peers
+            # blink in and out; the origin pulls digests directly so
+            # its optimizer keeps estimating through the churn.
+            anti_entropy = StatsAntiEntropy(
+                net.peers, self.origin,
+                interval=spec.stats_pull_interval,
+                rng=random.Random(spec.seed + 303),
+            )
+            anti_entropy.start()
         loop.run_until(loop.now + spec.warmup)
 
         report = ScenarioReport(spec=spec)
@@ -358,22 +411,30 @@ class ScenarioRunner:
                 report.limit_hits += 1
             report.fetches_skipped += outcome.fetches_skipped
             report.rows_after_cancel += outcome.rows_after_cancel
+            if outcome.decision is not None:
+                executed = outcome.decision.strategy
+                report.auto_strategies[executed] = (
+                    report.auto_strategies.get(executed, 0) + 1)
+                report.reformulations_pruned += (
+                    outcome.decision.reformulations_pruned)
             loop.run_until(loop.now + spec.query_interval)
         if churn is not None:
             churn.stop()
         if maintenance is not None:
             maintenance.stop()
+        if anti_entropy is not None:
+            anti_entropy.stop()
+            report.stats_pulls = anti_entropy.pulls_sent
+        report.synopses_known = len(net.peers[self.origin].synopses)
 
         if report.per_query_recall:
             report.recall = (sum(report.per_query_recall)
                              / len(report.per_query_recall))
-        if latencies:
-            report.latency_p50 = percentile(latencies, 50)
-            report.latency_p90 = percentile(latencies, 90)
-            report.latency_p99 = percentile(latencies, 99)
-        if first_result_latencies:
-            report.first_result_p50 = percentile(first_result_latencies,
-                                                 50)
+        report.latency_p50 = percentile_or_none(latencies, 50)
+        report.latency_p90 = percentile_or_none(latencies, 90)
+        report.latency_p99 = percentile_or_none(latencies, 99)
+        report.first_result_p50 = percentile_or_none(
+            first_result_latencies, 50)
         report.total_messages = metrics.messages_sent - messages_before
         report.messages_dropped = (metrics.messages_dropped
                                    - dropped_before)

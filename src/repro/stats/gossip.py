@@ -1,0 +1,90 @@
+"""Synopsis dissemination: piggybacking helpers and anti-entropy pull.
+
+The primary dissemination channel costs **zero extra messages**:
+maintenance traffic the overlay exchanges anyway (reference probes,
+probe acks, replica sync pushes — see
+:mod:`repro.pgrid.maintenance`) carries a bounded batch of synopsis
+digests in its payload.  Each peer forwards its own fresh digest plus
+a deterministic round-robin slice of the digests it has collected, so
+knowledge spreads epidemically across maintenance rounds.
+
+Under churn the piggyback channel alone converges slowly (offline
+peers neither probe nor get probed), so resilience scenarios add an
+explicit **anti-entropy pull**: the querying origin periodically asks
+random online peers for their digest batches.  Pulls do cost messages
+(one ``stats_pull`` + one ``stats_push`` each) and are therefore
+opt-in, scheduled by :class:`StatsAntiEntropy`.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: digests piggybacked per maintenance message
+PIGGYBACK_BUDGET = 8
+
+#: digests returned per anti-entropy pull
+PULL_BUDGET = 24
+
+
+class StatsAntiEntropy:
+    """Periodic synopsis pulls from one origin peer.
+
+    Parameters
+    ----------
+    peers:
+        All peers of the deployment (targets are drawn from here).
+    origin:
+        Node id that issues the pulls (typically the query origin).
+    interval:
+        Mean virtual seconds between pull rounds.
+    fanout:
+        Peers asked per round.
+    rng:
+        Randomness for target choice and jitter.
+    """
+
+    def __init__(self, peers: dict, origin: str,
+                 interval: float = 30.0, fanout: int = 2,
+                 rng: random.Random | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.peers = peers
+        self.origin = origin
+        self.interval = interval
+        self.fanout = fanout
+        self.rng = rng if rng is not None else random.Random(0)
+        self._running = False
+        #: pull messages sent (for reporting)
+        self.pulls_sent = 0
+
+    def start(self) -> None:
+        """Schedule the first pull round (with jitter)."""
+        peer = self.peers.get(self.origin)
+        if peer is None or peer.network is None:
+            return
+        self._running = True
+        peer.loop.schedule(self.rng.uniform(0, self.interval), self._tick)
+
+    def stop(self) -> None:
+        """Stop scheduling new rounds (in-flight replies still merge)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        peer = self.peers.get(self.origin)
+        if peer is None or peer.network is None:
+            return
+        if peer.online:
+            candidates = [
+                node_id for node_id in sorted(self.peers)
+                if node_id != self.origin
+                and peer.network.is_online(node_id)
+            ]
+            self.rng.shuffle(candidates)
+            for target in candidates[:self.fanout]:
+                self.pulls_sent += 1
+                peer.send(target, "stats_pull", {"budget": PULL_BUDGET})
+        peer.loop.schedule(self.rng.uniform(0.5, 1.5) * self.interval,
+                           self._tick)

@@ -18,6 +18,7 @@ from collections.abc import Iterable
 from repro.rdf.patterns import TriplePattern
 from repro.rdf.terms import GroundTerm, Literal, Variable, is_ground
 from repro.rdf.triples import ALL_POSITIONS, Position, Triple
+from repro.stats.synopsis import StoreSynopsis
 from repro.storage.relation import Relation
 
 
@@ -48,6 +49,10 @@ class TripleStore:
         }
         #: buckets appended to since their last sort
         self._unsorted: set[tuple[Position, GroundTerm]] = set()
+        #: incrementally maintained statistics (per-predicate counts,
+        #: distinct subjects/objects, top-k object sketch) — digested
+        #: and disseminated by the statistics layer (:mod:`repro.stats`)
+        self.synopsis = StoreSynopsis()
 
     # -- mutation ------------------------------------------------------
 
@@ -56,6 +61,7 @@ class TripleStore:
         if triple in self._triples:
             return False
         self._triples.add(triple)
+        self.synopsis.add(triple)
         for pos in ALL_POSITIONS:
             term = triple.at(pos)
             self._index[pos].setdefault(term, []).append(triple)
@@ -71,6 +77,7 @@ class TripleStore:
         if triple not in self._triples:
             return False
         self._triples.discard(triple)
+        self.synopsis.remove(triple)
         for pos in ALL_POSITIONS:
             term = triple.at(pos)
             bucket = self._index[pos].get(term)
@@ -88,6 +95,7 @@ class TripleStore:
         """Drop everything."""
         self._triples.clear()
         self._unsorted.clear()
+        self.synopsis.clear()
         for pos in ALL_POSITIONS:
             self._index[pos].clear()
 

@@ -44,6 +44,24 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
+def percentile_or_none(samples: Sequence[float],
+                       q: float) -> float | None:
+    """:func:`percentile`, but ``None`` on empty input.
+
+    Report paths use this so a run that measured nothing (e.g. a
+    churn scenario where zero queries completed) reports ``None``
+    latencies instead of crashing.
+
+    >>> percentile_or_none([], 50) is None
+    True
+    >>> percentile_or_none([1.0, 3.0], 50)
+    2.0
+    """
+    if not samples:
+        return None
+    return percentile(samples, q)
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """``numerator / denominator``, defined as 0.0 on a zero denominator.
 

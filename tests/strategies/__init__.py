@@ -15,6 +15,7 @@ from strategies.settings import (
     STANDARD_SETTINGS,
     STATE_MACHINE_SETTINGS,
 )
+from strategies.synopses import peer_synopses, triples
 
 __all__ = [
     "DETERMINISM_SETTINGS",
@@ -22,4 +23,6 @@ __all__ = [
     "SLOW_SETTINGS",
     "STANDARD_SETTINGS",
     "STATE_MACHINE_SETTINGS",
+    "peer_synopses",
+    "triples",
 ]

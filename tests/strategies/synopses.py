@@ -1,0 +1,53 @@
+"""Hypothesis strategies for synopsis digests and small triples.
+
+Value pools are deliberately tiny so generated digests collide on peer
+ids, versions and predicates — exactly the cases where merge-order
+independence (commutativity/idempotence) could break.
+"""
+
+from hypothesis import strategies as st
+
+from repro.rdf.terms import URI, Literal
+from repro.rdf.triples import Triple
+from repro.stats.synopsis import MappingEdge, PeerSynopsis, PredicateDigest
+
+subjects = st.sampled_from([URI(f"S:e{i}") for i in range(5)])
+predicates = st.sampled_from(
+    [URI(f"S#p{i}") for i in range(3)] + [URI(f"T#q{i}") for i in range(2)]
+)
+objects = st.sampled_from(
+    [Literal(f"v{i}") for i in range(4)] + [URI("S:e0")]
+)
+
+#: small ground triples over colliding term pools
+triples = st.builds(Triple, subjects, predicates, objects)
+
+predicate_digests = st.builds(
+    PredicateDigest,
+    predicate=st.sampled_from(["S#p0", "S#p1", "T#q0"]),
+    triples=st.integers(min_value=0, max_value=60),
+    distinct_subjects=st.integers(min_value=0, max_value=20),
+    distinct_objects=st.integers(min_value=0, max_value=20),
+    top_objects=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.integers(min_value=1, max_value=9)),
+        max_size=3,
+    ).map(tuple),
+)
+
+mapping_edges = st.builds(
+    MappingEdge,
+    source=st.sampled_from(["S", "T"]),
+    target=st.sampled_from(["T", "U"]),
+    confidence=st.sampled_from([0.5, 0.8, 1.0]),
+)
+
+#: digests with colliding peer ids and versions
+peer_synopses = st.builds(
+    PeerSynopsis,
+    peer_id=st.sampled_from(["n0", "n1", "n2"]),
+    version=st.integers(min_value=0, max_value=4),
+    triples=st.integers(min_value=0, max_value=100),
+    predicates=st.lists(predicate_digests, max_size=3).map(tuple),
+    mappings=st.lists(mapping_edges, max_size=2).map(tuple),
+)

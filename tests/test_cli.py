@@ -21,6 +21,28 @@ class TestParser:
                 ["query", "SearchFor(x? : (x?, A#p, %v%))",
                  "--strategy", "telepathic"])
 
+    def test_auto_strategy_accepted(self):
+        args = build_parser().parse_args(
+            ["query", "SearchFor(x? : (x?, A#p, %v%))",
+             "--strategy", "auto"])
+        assert args.strategy == "auto"
+        args = build_parser().parse_args(["scenario", "--strategy",
+                                          "auto"])
+        assert args.strategy == "auto"
+
+    def test_max_hops_flag(self):
+        args = build_parser().parse_args(
+            ["query", "SearchFor(x? : (x?, A#p, %v%))"])
+        assert args.max_hops == 8  # the historical hardcoded depth
+        args = build_parser().parse_args(
+            ["query", "SearchFor(x? : (x?, A#p, %v%))",
+             "--max-hops", "3"])
+        assert args.max_hops == 3
+        assert build_parser().parse_args(
+            ["scenario", "--max-hops", "4"]).max_hops == 4
+        assert build_parser().parse_args(
+            ["batch", "--max-hops", "4"]).max_hops == 4
+
 
 class TestExperimentsCommand:
     def test_lists_all_experiments(self, capsys):
@@ -73,3 +95,35 @@ class TestQueryCommand:
                      "--entities", "20", "--rounds", "1"])
         assert code == 0
         assert "hint" in capsys.readouterr().out
+
+
+class TestAutoQueryCommand:
+    def test_auto_query_prints_optimizer_decision(self, capsys):
+        from repro.datagen import BioDatasetGenerator
+        dataset = BioDatasetGenerator(
+            num_schemas=4, num_entities=40, entities_per_schema=8,
+            seed=7).generate()
+        schema = dataset.schemas[0]
+        organism_attr = dataset.concept_attribute(schema.name, "organism")
+        query = (f"SearchFor(x? : (x?, {schema.name}#{organism_attr}, "
+                 f"%a%))")
+        code = main(["query", query, "--strategy", "auto",
+                     "--peers", "24", "--schemas", "4",
+                     "--entities", "40", "--rounds", "2", "--seed", "7",
+                     "--limit", "0", "--warm-stats", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer:" in out
+        assert "estimated" in out or "fallback" in out
+
+
+class TestStatsCommand:
+    def test_stats_reports_digest_and_estimate_error(self, capsys):
+        code = main(["stats", "--peers", "24", "--schemas", "4",
+                     "--entities", "40", "--rounds", "1", "--seed", "7",
+                     "--warm-stats", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "local triples" in out
+        assert "registry" in out
+        assert "mean relative error" in out

@@ -27,3 +27,17 @@ def test_module_doctests(module_name):
     results = doctest.testmod(module, verbose=False,
                               optionflags=doctest.ELLIPSIS)
     assert results.failed == 0, f"{results.failed} doctest failure(s)"
+
+
+def test_stats_and_optimizer_packages_discovered():
+    """The statistics/optimizer modules must stay on the doctest walk
+    (a missing ``__init__`` or rename would silently drop them)."""
+    modules = _all_modules()
+    for name in (
+        "repro.stats.synopsis",
+        "repro.stats.estimator",
+        "repro.stats.gossip",
+        "repro.optimizer.core",
+        "repro.optimizer.cost",
+    ):
+        assert name in modules

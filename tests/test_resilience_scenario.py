@@ -91,6 +91,46 @@ class TestScenarioRunner:
         with pytest.raises(ValueError):
             ScenarioRunner(runner.network, [], small_spec())
 
+    def test_zero_completed_queries_reports_none_latencies(self):
+        """Regression: a churn run that measures no latency samples
+        must report ``None`` percentiles (util.stats.percentile raises
+        on empty input) and still render its summary."""
+        report = ScenarioRunner.from_spec(
+            small_spec(num_queries=0, warmup=20.0)).run()
+        assert report.queries_issued == 0
+        assert report.latency_p50 is None
+        assert report.latency_p90 is None
+        assert report.latency_p99 is None
+        assert report.first_result_p50 is None
+        assert report.recall == 0.0
+        lines = report.summary()
+        assert any("n/a" in line for line in lines)
+
+    def test_zero_queries_with_limit_summary_renders(self):
+        report = ScenarioRunner.from_spec(
+            small_spec(num_queries=0, warmup=20.0, limit=3)).run()
+        assert report.first_result_p50 is None
+        assert report.summary()
+
+
+class TestAutoStrategyScenario:
+    def test_auto_scenario_reports_optimizer_activity(self):
+        report = ScenarioRunner.from_spec(
+            small_spec(strategy="auto", num_queries=6)).run()
+        assert report.queries_issued == 6
+        # anti-entropy pulls are on by default for auto and feed the
+        # origin's registry
+        assert report.stats_pulls > 0
+        assert report.synopses_known > 0
+        assert sum(report.auto_strategies.values()) > 0
+        assert any("optimizer" in line for line in report.summary())
+        assert report.recall > 0.5
+
+    def test_auto_scenario_deterministic(self):
+        spec = small_spec(strategy="auto", num_queries=4)
+        assert (ScenarioRunner.from_spec(spec).run()
+                == ScenarioRunner.from_spec(spec).run())
+
 
 class TestEngineAcrossChurn:
     def test_plan_cache_stays_valid_and_answers_under_churn(self):

@@ -1,0 +1,210 @@
+"""Property and unit tests for the statistics subsystem.
+
+The synopsis registry is a state-based CRDT: whatever order gossip
+delivers digests in, every peer must converge to the same registry.
+The Hypothesis properties pin down exactly that (commutative,
+idempotent, associative merge) plus the builder's insert/delete
+inverse, and the unit tests cover the cardinality estimator's
+sketch arithmetic.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf.patterns import TriplePattern
+from repro.rdf.terms import URI, Literal, Variable
+from repro.stats.estimator import CardinalityEstimator
+from repro.stats.synopsis import (
+    PeerSynopsis,
+    PredicateDigest,
+    StoreSynopsis,
+    SynopsisRegistry,
+)
+from strategies import STANDARD_SETTINGS, peer_synopses, triples
+
+
+def _registry_with(digests):
+    registry = SynopsisRegistry()
+    registry.merge(digests)
+    return registry
+
+
+class TestRegistryMergeProperties:
+    @given(xs=st.lists(peer_synopses, max_size=8),
+           ys=st.lists(peer_synopses, max_size=8))
+    @STANDARD_SETTINGS
+    def test_merge_commutative(self, xs, ys):
+        assert (_registry_with(xs + ys).digests()
+                == _registry_with(ys + xs).digests())
+
+    @given(xs=st.lists(peer_synopses, max_size=8))
+    @STANDARD_SETTINGS
+    def test_merge_idempotent(self, xs):
+        once = _registry_with(xs)
+        twice = _registry_with(xs)
+        twice.merge(xs)
+        assert once.digests() == twice.digests()
+
+    @given(xs=st.lists(peer_synopses, max_size=5),
+           ys=st.lists(peer_synopses, max_size=5),
+           zs=st.lists(peer_synopses, max_size=5))
+    @STANDARD_SETTINGS
+    def test_merge_associative(self, xs, ys, zs):
+        left = _registry_with(xs + ys)
+        left.merge(zs)
+        right_inner = _registry_with(ys + zs)
+        right = _registry_with(xs)
+        right.merge(right_inner.digests())
+        assert left.digests() == right.digests()
+
+    @given(digest=peer_synopses)
+    @STANDARD_SETTINGS
+    def test_newer_version_wins(self, digest):
+        registry = SynopsisRegistry()
+        registry.register(digest)
+        newer = PeerSynopsis(
+            peer_id=digest.peer_id, version=digest.version + 1,
+            triples=digest.triples + 1,
+        )
+        assert registry.register(newer)
+        assert registry.get(digest.peer_id) == newer
+        # the stale digest can never regress the registry
+        assert not registry.register(digest)
+        assert registry.get(digest.peer_id) == newer
+
+
+class TestStoreSynopsisInverse:
+    @given(ts=st.lists(triples, max_size=12), extra=triples)
+    @STANDARD_SETTINGS
+    def test_insert_delete_inverse(self, ts, extra):
+        synopsis = StoreSynopsis()
+        for t in ts:
+            synopsis.add(t)
+        before = synopsis.digest("n0", version=0)
+        synopsis.add(extra)
+        synopsis.remove(extra)
+        assert synopsis.digest("n0", version=0) == before
+
+    @given(ts=st.lists(triples, max_size=12))
+    @STANDARD_SETTINGS
+    def test_digest_matches_recount(self, ts):
+        synopsis = StoreSynopsis()
+        for t in ts:
+            synopsis.add(t)
+        digest = synopsis.digest("n0", version=0)
+        by_predicate = {}
+        for t in ts:
+            by_predicate.setdefault(t.predicate.value, []).append(t)
+        assert len(digest.predicates) == len(by_predicate)
+        for entry in digest.predicates:
+            bucket = by_predicate[entry.predicate]
+            assert entry.triples == len(bucket)
+            assert entry.distinct_subjects == len(
+                {t.subject.value for t in bucket})
+            assert entry.distinct_objects == len(
+                {t.object.value for t in bucket})
+
+    def test_version_monotone(self):
+        from repro.rdf.triples import Triple
+
+        synopsis = StoreSynopsis()
+        t = Triple(URI("a"), URI("S#p"), Literal("v"))
+        v0 = synopsis.version
+        synopsis.add(t)
+        v1 = synopsis.version
+        synopsis.remove(t)
+        assert v0 < v1 < synopsis.version
+
+
+def _estimator(*digests):
+    return CardinalityEstimator(_registry_with(list(digests)))
+
+
+def _digest(peer_id, version, *predicate_entries, path=""):
+    return PeerSynopsis(peer_id=peer_id, version=version,
+                        triples=sum(e.triples for e in predicate_entries),
+                        predicates=tuple(predicate_entries),
+                        path=path)
+
+
+HOT_PREDICATE = _digest("n1", 1, PredicateDigest(
+    predicate="S#p", triples=100, distinct_subjects=10,
+    distinct_objects=4, top_objects=(("hot", 70), ("warm", 20)),
+), path="0")
+
+#: an empty peer covering the other half of the key space — together
+#: with HOT_PREDICATE's "0" the digests cover everything, which is
+#: what authorizes absence-means-empty estimates
+OTHER_HALF = _digest("n9", 1, path="1")
+
+
+class TestCardinalityEstimator:
+    def test_empty_registry_estimates_nothing(self):
+        estimator = _estimator()
+        pattern = TriplePattern(Variable("x"), URI("S#p"), Variable("y"))
+        assert estimator.pattern_cardinality(pattern) is None
+
+    def test_unknown_predicate_is_zero_under_full_coverage(self):
+        estimator = _estimator(HOT_PREDICATE, OTHER_HALF)
+        assert estimator.full_coverage()
+        pattern = TriplePattern(Variable("x"), URI("S#nope"),
+                                Variable("y"))
+        assert estimator.pattern_cardinality(pattern) == 0.0
+
+    def test_unknown_predicate_is_unknown_under_partial_coverage(self):
+        estimator = _estimator(HOT_PREDICATE)  # only path "0" known
+        assert not estimator.full_coverage()
+        pattern = TriplePattern(Variable("x"), URI("S#nope"),
+                                Variable("y"))
+        # the predicate might live on an un-gossiped peer: no verdict
+        assert estimator.pattern_cardinality(pattern) is None
+
+    def test_sketched_object_value(self):
+        estimator = _estimator(HOT_PREDICATE)
+        pattern = TriplePattern(Variable("x"), URI("S#p"), Literal("hot"))
+        assert estimator.pattern_cardinality(pattern) == 70.0
+
+    def test_residual_object_value(self):
+        estimator = _estimator(HOT_PREDICATE)
+        pattern = TriplePattern(Variable("x"), URI("S#p"),
+                                Literal("other"))
+        # residual mass 10 spread over 2 unsketched distinct values
+        assert estimator.pattern_cardinality(pattern) == 5.0
+
+    def test_subject_constant_divides_by_distinct_subjects(self):
+        estimator = _estimator(HOT_PREDICATE)
+        pattern = TriplePattern(URI("S:e1"), URI("S#p"), Variable("y"))
+        assert estimator.pattern_cardinality(pattern) == 10.0
+
+    def test_like_literal_uses_sketch_plus_residual(self):
+        estimator = _estimator(HOT_PREDICATE)
+        pattern = TriplePattern(Variable("x"), URI("S#p"),
+                                Literal("%ot%"))
+        # "hot" matches the sketch (70); residual 10 at 0.5 selectivity
+        assert estimator.pattern_cardinality(pattern) == 75.0
+
+    def test_cross_peer_aggregation_is_max_not_sum(self):
+        replica = _digest("n2", 1, PredicateDigest(
+            predicate="S#p", triples=100, distinct_subjects=10,
+            distinct_objects=4, top_objects=(("hot", 70), ("warm", 20)),
+        ))
+        partial = _digest("n3", 1, PredicateDigest(
+            predicate="S#p", triples=30, distinct_subjects=5,
+            distinct_objects=2, top_objects=(("hot", 25),),
+        ))
+        estimator = _estimator(HOT_PREDICATE, replica, partial)
+        pattern = TriplePattern(Variable("x"), URI("S#p"), Variable("y"))
+        # replication must not inflate the estimate
+        assert estimator.pattern_cardinality(pattern) == 100.0
+
+    def test_query_cardinality_is_most_selective_pattern(self):
+        estimator = _estimator(HOT_PREDICATE)
+        from repro.rdf.patterns import ConjunctiveQuery
+
+        x = Variable("x")
+        query = ConjunctiveQuery(
+            [TriplePattern(x, URI("S#p"), Literal("hot")),
+             TriplePattern(x, URI("S#p"), Literal("other"))],
+            [x],
+        )
+        assert estimator.query_cardinality(query) == 5.0

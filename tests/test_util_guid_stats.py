@@ -75,6 +75,15 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([1.0], 150)
 
+    def test_percentile_or_none_empty(self):
+        from repro.util.stats import percentile_or_none
+        assert percentile_or_none([], 50) is None
+
+    def test_percentile_or_none_matches_percentile(self):
+        from repro.util.stats import percentile_or_none
+        xs = [5.0, 1.0, 3.0]
+        assert percentile_or_none(xs, 90) == percentile(xs, 90)
+
     def test_mean(self):
         assert mean([1.0, 2.0, 3.0]) == 2.0
 
