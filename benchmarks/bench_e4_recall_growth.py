@@ -15,6 +15,7 @@ from conftest import report, run_once
 
 from repro import GridVineNetwork
 from repro.datagen import BioDatasetGenerator, QueryWorkloadGenerator
+from repro.resilience.scenario import recall_hits
 from repro.selforg import CreationPolicy, SelfOrganizationController
 
 
@@ -64,7 +65,7 @@ def measure_recall(net, panel):
     found = total = 0
     for query, truth in panel:
         outcome = net.search_for(query, strategy="iterative", max_hops=10)
-        hits = {str(r[0]).strip("<>") for r in outcome.results}
+        hits = recall_hits(outcome)
         found += len(hits & truth)
         total += len(truth)
     return found / total if total else 1.0

@@ -60,6 +60,17 @@ GridVine Peer Data Management System* (Cudré-Mauroux et al., VLDB
     per-operation attribution.  Pairs with the peers' replica-aware
     failover to keep queries answering while peers crash and recover.
 
+``repro.faultlab``
+    The *deterministic fault lab* over all of the above: immutable,
+    seeded fault schedules (message drops, duplicates, delay jitter,
+    reordering, partitions with scheduled heals, crash-restarts)
+    injected at the network's hook points, a library of system
+    invariant checkers (routing coverage, replica agreement, synopsis
+    CRDT convergence, engine cache coherence, recall bounds), and a
+    randomized scenario explorer where every failure replays from its
+    printed seed and shrinks to a minimal reproducer
+    (``python -m repro chaos``).
+
 ``repro.datagen``
     Synthetic bioinformatic schemas, records and query workloads used
     by the examples and benchmarks (substituting the EBI/SRS data of

@@ -30,8 +30,17 @@ booth:
     for a while, then print one peer's statistics digest and how well
     the network-wide cardinality estimates match the true corpus.
 
+``chaos``
+    The deterministic fault lab (:mod:`repro.faultlab`): ``chaos run``
+    executes one seeded fault schedule against a scripted scenario
+    and checks every system invariant, ``chaos explore`` sweeps a
+    budget of consecutive seeds, and ``chaos replay`` re-runs any
+    failure from its printed seed alone — with ``--shrink`` it then
+    minimizes the failing schedule to the smallest clause set that
+    still fails.
+
 ``experiments``
-    List the E1..E16 benchmark targets and how to run them.
+    List the E1..E17 benchmark targets and how to run them.
 """
 
 from __future__ import annotations
@@ -74,6 +83,8 @@ _EXPERIMENTS = [
      "bench_e15_limit_pushdown.py"),
     ("E16", "cost-based auto strategy vs static choices",
      "bench_e16_optimizer.py"),
+    ("E17", "partition recall with anti-entropy repair on/off",
+     "bench_e17_partition_recall.py"),
 ]
 
 
@@ -333,6 +344,74 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _chaos_explorer(args):
+    from dataclasses import replace as _replace
+
+    from repro.faultlab import ScenarioExplorer
+    from repro.faultlab.explorer import default_spec
+
+    spec = _replace(default_spec(),
+                    num_peers=args.peers,
+                    num_queries=args.queries)
+    return ScenarioExplorer(spec=spec, intensity=args.intensity,
+                            min_recall=args.min_recall,
+                            min_live_recall=args.min_live_recall)
+
+
+def _print_trial(trial, show_plan: bool) -> None:
+    if show_plan:
+        print("fault schedule:")
+        for line in trial.plan.describe():
+            print("  " + line)
+    for line in trial.report.summary():
+        print(line)
+    if trial.ok:
+        print("invariants: all hold")
+    else:
+        print("invariants VIOLATED:")
+        for violation in trial.invariants.violations:
+            print(f"  {violation}")
+
+
+def cmd_chaos(args) -> int:
+    explorer = _chaos_explorer(args)
+    if args.chaos_command == "explore":
+        trials = explorer.explore(args.budget, start_seed=args.start_seed)
+        for trial in trials:
+            for line in trial.summary():
+                print(line)
+        failed = [t for t in trials if not t.ok]
+        print(f"explored {len(trials)} seed(s) "
+              f"({args.intensity}): {len(trials) - len(failed)} passed, "
+              f"{len(failed)} failed")
+        if failed:
+            # The full flag set: replay must rebuild the exact spec
+            # and floors this exploration ran, not the defaults.
+            print("replay any failure with: python -m repro chaos replay "
+                  f"--seed {failed[0].seed} --intensity {args.intensity} "
+                  f"--peers {args.peers} --queries {args.queries} "
+                  f"--min-recall {args.min_recall:g} "
+                  f"--min-live-recall {args.min_live_recall:g} [--shrink]")
+        return 1 if failed else 0
+    # run / replay: one seeded trial (replay is the explicit
+    # reproduce-from-printed-seed entry point; both derive everything
+    # from the seed alone)
+    trial = explorer.run_trial(args.seed)
+    print(f"seed {args.seed} ({args.intensity}): "
+          + ("PASS" if trial.ok else "FAIL"))
+    _print_trial(trial, show_plan=True)
+    if args.chaos_command == "replay" and args.shrink:
+        if trial.ok:
+            print("nothing to shrink: all invariants hold")
+            return 0
+        # Reuse the trial already run above as the reproduction step
+        # (a scenario run is the expensive unit of the whole tool).
+        result = explorer.shrink(args.seed, trial=trial)
+        for line in result.summary():
+            print(line)
+    return 0 if trial.ok else 1
+
+
 def cmd_experiments(_args) -> int:
     print("experiment benchmarks (see EXPERIMENTS.md for recorded "
           "paper-vs-measured results):\n")
@@ -443,6 +522,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="predicates to list from the digest")
     _add_deploy_args(stats)
     stats.set_defaults(func=cmd_stats)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault lab: seeded fault "
+                      "schedules, invariant checks, replay and "
+                      "shrinking")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--intensity", default="light",
+                            choices=["light", "heavy", "extreme"],
+                            help="fault-schedule generation profile "
+                                 "(extreme adds a kill-every-reply "
+                                 "clause)")
+        parser.add_argument("--peers", type=int, default=20)
+        parser.add_argument("--queries", type=int, default=6,
+                            help="queries issued while faults run")
+        parser.add_argument("--min-recall", type=float, default=0.9,
+                            help="post-heal recall floor (invariant)")
+        parser.add_argument("--min-live-recall", type=float, default=0.4,
+                            help="under-faults mean recall floor "
+                                 "(invariant)")
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one seeded fault schedule and check "
+                    "invariants")
+    chaos_run.add_argument("--seed", type=int, default=0)
+    _add_chaos_args(chaos_run)
+    chaos_run.set_defaults(func=cmd_chaos)
+
+    chaos_explore = chaos_sub.add_parser(
+        "explore", help="sweep a budget of consecutive seeds; exit 1 "
+                        "if any invariant broke")
+    chaos_explore.add_argument("--budget", type=int, default=8,
+                               help="number of seeded scenarios to run")
+    chaos_explore.add_argument("--start-seed", type=int, default=0)
+    _add_chaos_args(chaos_explore)
+    chaos_explore.set_defaults(func=cmd_chaos)
+
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="reproduce one explored scenario from its "
+                       "printed seed alone")
+    chaos_replay.add_argument("--seed", type=int, required=True)
+    chaos_replay.add_argument("--shrink", action="store_true",
+                              help="minimize a failing fault schedule "
+                                   "to the smallest clause set that "
+                                   "still fails")
+    _add_chaos_args(chaos_replay)
+    chaos_replay.set_defaults(func=cmd_chaos)
 
     experiments = sub.add_parser("experiments",
                                  help="list benchmark targets")

@@ -105,6 +105,17 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def entries(self) -> list[tuple[_Key, _Entry]]:
+        """Live ``(key, entry)`` pairs, LRU order (oldest first).
+
+        Keys are ``(canonical query, max_hops, include_original)`` and
+        entries carry *canonical* plans — used by the fault lab's
+        cache-coherence invariant to replay every cached plan against
+        a fresh planning run.  Read-only: does not touch LRU order or
+        stats.
+        """
+        return list(self._entries.items())
+
     # -- lookup / store -------------------------------------------------
 
     def lookup(self, query: ConjunctiveQuery, max_hops: int,

@@ -57,6 +57,15 @@ class MaintenanceProcess:
         replacement requests.
     rng:
         Randomness for jitter and level selection.
+    repair_thin_levels:
+        When True, every tick additionally requests replacements for
+        each routing level below target.  The default (False, the
+        historical behaviour — repair fires only at the moment a
+        probe drops a reference) cannot refill a level that was
+        *emptied* while its owner was partitioned away, a gap the
+        fault lab surfaced; scenarios with injected faults enable
+        this.  Off by default so baseline message accounting stays
+        bit-identical.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class MaintenanceProcess:
         probe_timeout: float = 5.0,
         refs_per_level: int = 2,
         rng: random.Random | None = None,
+        repair_thin_levels: bool = False,
     ) -> None:
         if interval <= 0 or probe_timeout <= 0:
             raise ValueError("interval and probe_timeout must be positive")
@@ -74,6 +84,7 @@ class MaintenanceProcess:
         self.probe_timeout = probe_timeout
         self.refs_per_level = refs_per_level
         self.rng = rng if rng is not None else random.Random(0)
+        self.repair_thin_levels = repair_thin_levels
         self._tokens = itertools.count()
         self._running = False
         #: consecutive missed probes per (peer, ref) — a reference is
@@ -136,8 +147,41 @@ class MaintenanceProcess:
         if peer.online:
             self._probe_level(peer)
             self._push_to_replica(peer)
+            if self.repair_thin_levels:
+                self._repair_thin(peer)
         jittered = self.rng.uniform(0.5, 1.5) * self.interval
         self._schedule_tick(node_id, jittered)
+
+    def _repair_thin(self, peer: PGridPeer) -> int:
+        """Request replacements for each of ``peer``'s thin levels;
+        returns how many levels were below target."""
+        thin = 0
+        for level in range(len(peer.path)):
+            if len(peer.routing_table[level]) < self.refs_per_level:
+                thin += 1
+                self._request_replacements(peer, level)
+        return thin
+
+    def repair_sweep(self) -> int:
+        """Request replacements for every below-target routing level.
+
+        The periodic ticks only repair a level at the moment a probe
+        drops one of its references; a level emptied while its owner
+        was offline (or partitioned away) has no refs left to probe
+        and would stay empty forever.  A sweep walks every online
+        peer's table directly and fires the usual replacement
+        discovery for each thin level — the fault lab runs a few of
+        these after heal to give the overlay its claimed repair before
+        checking eventual invariants.  Returns the number of thin
+        levels a request was issued for.
+        """
+        issued = 0
+        for node_id in sorted(self.peers):
+            peer = self.peers[node_id]
+            if peer.network is None or not peer.online:
+                continue
+            issued += self._repair_thin(peer)
+        return issued
 
     # ------------------------------------------------------------------
     # Reference probing & replacement

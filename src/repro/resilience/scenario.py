@@ -37,6 +37,7 @@ from repro.stats.gossip import StatsAntiEntropy
 from repro.util.stats import percentile_or_none
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.faultlab.plan import FaultPlan
     from repro.mediation.network import GridVineNetwork
 
 #: panel item: (query, set of expected ``Schema:Accession`` subjects)
@@ -91,6 +92,15 @@ class ScenarioSpec:
     #: cooperatively cancels the query's remaining fan-out even while
     #: failover retries are in flight
     limit: int | None = None
+    # -- fault injection ----------------------------------------------
+    #: deterministic fault schedule applied for the duration of the
+    #: run (:class:`~repro.faultlab.plan.FaultPlan`): message drops /
+    #: duplicates / jitter / reordering, partitions with scheduled
+    #: heals, crash-restarts.  ``None`` (or an empty plan) keeps the
+    #: run bit-identical to the pre-fault-lab behaviour.  Composes
+    #: with ``churn``: the injector never crashes a node churn took
+    #: down and vice versa.
+    faults: "FaultPlan | None" = None
 
 
 @dataclass
@@ -116,6 +126,13 @@ class ScenarioReport:
     #: all messages on the network, background traffic included
     total_messages: int = 0
     messages_dropped: int = 0
+    #: drop counts by cause (``"offline"`` for churn's silent
+    #: offline-destination drops, ``"in_flight"``, ``"fault"``,
+    #: ``"partition"``) — run delta, see
+    #: :attr:`repro.simnet.metrics.NetworkMetrics.drops_by_reason`
+    drops_by_reason: dict = field(default_factory=dict)
+    #: injected-fault counts by action (``spec.faults`` runs only)
+    faults_injected: dict = field(default_factory=dict)
     failures: int = 0
     recoveries: int = 0
     #: retries that steered away from a dead first hop
@@ -166,6 +183,18 @@ class ScenarioReport:
             f"failover : {self.failovers} replica failovers, "
             f"{self.ops_gave_up} operations gave up",
         ]
+        if self.drops_by_reason:
+            breakdown = ", ".join(
+                f"{count} {reason}"
+                for reason, count in sorted(self.drops_by_reason.items())
+            )
+            lines.append(f"drops    : {breakdown}")
+        if self.faults_injected:
+            injected = ", ".join(
+                f"{count} {action}"
+                for action, count in sorted(self.faults_injected.items())
+            )
+            lines.append(f"faults   : {injected}")
         if self.spec.limit is not None:
             first = ("n/a" if self.first_result_p50 is None
                      else f"{self.first_result_p50:.2f}s")
@@ -196,6 +225,18 @@ class ScenarioReport:
                 f"planner run(s)"
             )
         return lines
+
+
+def recall_hits(outcome) -> set[str]:
+    """The ``Schema:Accession`` subjects a query outcome recalled.
+
+    Result rows render subjects as bracketed URIs (``<EMBL:X1>``);
+    ground-truth sets use the bare ``Schema:Accession`` form — this is
+    the one place that strips the brackets, shared by scenario
+    reporting, the fault lab's recall invariant and the recall
+    benchmarks.
+    """
+    return {str(row[0]).strip("<>") for row in outcome.results}
 
 
 def ground_truth_panel(dataset: BioDataset,
@@ -255,6 +296,11 @@ class ScenarioRunner:
         self.origin = origin if origin is not None else network.peer_ids()[0]
         self.domain = domain
         self.dataset: BioDataset | None = None
+        #: the engine the last ``strategy == "engine"`` run executed
+        #: through (``None`` otherwise) — exposed so post-run audits
+        #: (the fault lab's cache-coherence invariant) can inspect the
+        #: very cache the workload exercised
+        self.engine = None
 
     # ------------------------------------------------------------------
     # Construction from a spec
@@ -318,6 +364,7 @@ class ScenarioRunner:
         metrics = net.network.metrics
         messages_before = metrics.messages_sent
         dropped_before = metrics.messages_dropped
+        drops_by_reason_before = dict(metrics.drops_by_reason)
         failover_before = sum(p.failover_stats["failovers"]
                               for p in net.peers.values())
         gave_up_before = sum(p.failover_stats["gave_up"]
@@ -338,6 +385,9 @@ class ScenarioRunner:
         if spec.strategy == "engine":
             engine = net.create_engine(domain=self.domain,
                                        max_hops=spec.max_hops)
+            self.engine = engine
+        has_faults = (spec.faults is not None
+                      and len(spec.faults.faults) > 0)
         maintenance = None
         if spec.maintenance:
             maintenance = MaintenanceProcess(
@@ -348,6 +398,11 @@ class ScenarioRunner:
                 refs_per_level=getattr(net, "refs_per_level",
                                        spec.refs_per_level),
                 rng=random.Random(spec.seed + 101),
+                # Partitions can empty whole routing levels; only the
+                # thin-level repair mode can refill those, so faulted
+                # runs enable it (fault-free runs keep the historical
+                # bit-identical accounting).
+                repair_thin_levels=has_faults,
             )
             maintenance.start()
         churn = None
@@ -373,6 +428,10 @@ class ScenarioRunner:
                 rng=random.Random(spec.seed + 303),
             )
             anti_entropy.start()
+        injector = None
+        if has_faults:
+            from repro.faultlab.injector import FaultInjector
+            injector = FaultInjector(net.network, spec.faults).install()
         loop.run_until(loop.now + spec.warmup)
 
         report = ScenarioReport(spec=spec)
@@ -391,7 +450,7 @@ class ScenarioRunner:
             report.queries_issued += 1
             if outcome.complete:
                 report.queries_complete += 1
-            hits = {str(row[0]).strip("<>") for row in outcome.results}
+            hits = recall_hits(outcome)
             if truth:
                 # Under a limit a query *by design* returns at most
                 # ``limit`` rows, so recall is measured against what
@@ -418,6 +477,13 @@ class ScenarioRunner:
                 report.reformulations_pruned += (
                     outcome.decision.reformulations_pruned)
             loop.run_until(loop.now + spec.query_interval)
+        if injector is not None:
+            # Uninstalling heals everything the plan still holds
+            # broken (releases reordered messages, restarts
+            # injector-crashed nodes), so the post-run accounting and
+            # any caller-side convergence checks see a fault-free net.
+            injector.uninstall()
+            report.faults_injected = dict(injector.injected)
         if churn is not None:
             churn.stop()
         if maintenance is not None:
@@ -438,6 +504,11 @@ class ScenarioRunner:
         report.total_messages = metrics.messages_sent - messages_before
         report.messages_dropped = (metrics.messages_dropped
                                    - dropped_before)
+        report.drops_by_reason = {
+            reason: count - drops_by_reason_before.get(reason, 0)
+            for reason, count in sorted(metrics.drops_by_reason.items())
+            if count - drops_by_reason_before.get(reason, 0) > 0
+        }
         if churn is not None:
             report.failures = churn.failures
             report.recoveries = churn.recoveries

@@ -21,6 +21,16 @@ class NetworkMetrics:
     #: shipped tuples; see bench E12)
     values_shipped: int = 0
     messages_by_kind: dict[str, int] = field(default_factory=dict)
+    #: drop counts by *cause*: ``"offline"`` (destination was already
+    #: offline at send time — the silent drops churn produces),
+    #: ``"in_flight"`` (destination crashed while the message was on
+    #: the wire), or a fault-injection reason such as ``"fault"`` /
+    #: ``"partition"`` (see :mod:`repro.faultlab`)
+    drops_by_reason: dict[str, int] = field(default_factory=dict)
+    #: injected-fault counts keyed ``"<action>:<kind>"`` (actions:
+    #: ``drop``, ``partition``, ``duplicate``, ``delay``, ``reorder``,
+    #: ``crash``, ``restart`` — the latter two use kind ``"node"``)
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
     #: message counts for *tracked* operations only (see
     #: :meth:`begin_operation`) — exact per-operation attribution even
     #: with concurrent background traffic on the same network
@@ -54,11 +64,29 @@ class NetworkMetrics:
         if op_tag is not None and op_tag in self.operations:
             self.operations[op_tag] += 1
 
-    def record_drop(self, kind: str) -> None:
-        """Account for one message dropped (offline destination)."""
+    def record_drop(self, kind: str, reason: str = "offline") -> None:
+        """Account for one message dropped before delivery.
+
+        ``reason`` separates the causes: churn's silent
+        offline-destination drops (``"offline"`` at send time,
+        ``"in_flight"`` for crashes mid-delivery) from injected faults
+        (``"fault"``, ``"partition"``) — without the breakdown the
+        offline drops were indistinguishable from everything else.
+        """
         self.messages_dropped += 1
         key = f"dropped:{kind}"
         self.messages_by_kind[key] = self.messages_by_kind.get(key, 0) + 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
+    def record_fault(self, action: str, kind: str) -> None:
+        """Account for one injected fault on a ``kind`` message."""
+        key = f"{action}:{kind}"
+        self.faults_by_kind[key] = self.faults_by_kind.get(key, 0) + 1
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected-fault count across all actions and kinds."""
+        return sum(self.faults_by_kind.values())
 
     @property
     def mean_latency(self) -> float:
@@ -75,6 +103,8 @@ class NetworkMetrics:
             "mean_latency": self.mean_latency,
             "values_shipped": self.values_shipped,
             "messages_by_kind": dict(self.messages_by_kind),
+            "drops_by_reason": dict(self.drops_by_reason),
+            "faults_by_kind": dict(self.faults_by_kind),
         }
 
     def reset(self) -> None:
@@ -89,5 +119,7 @@ class NetworkMetrics:
         self.total_latency = 0.0
         self.values_shipped = 0
         self.messages_by_kind.clear()
+        self.drops_by_reason.clear()
+        self.faults_by_kind.clear()
         for op_tag in self.operations:
             self.operations[op_tag] = 0

@@ -107,6 +107,11 @@ class SimNetwork:
         self._nodes: dict[str, Node] = {}
         #: stack of active attribution scopes (see :meth:`operation`)
         self._op_stack: list[str] = []
+        #: active fault injector, if any (see
+        #: :class:`repro.faultlab.injector.FaultInjector`).  ``None``
+        #: keeps :meth:`send` on the exact historical code path — with
+        #: no injector installed every simulation stays bit-identical.
+        self.fault_injector: Any | None = None
 
     # -- per-operation attribution -------------------------------------
 
@@ -185,20 +190,33 @@ class SimNetwork:
             message.op_tag = self.current_operation()
         dst_node = self._nodes.get(message.dst)
         if dst_node is None or not dst_node.online:
-            self.metrics.record_drop(message.kind)
+            self.metrics.record_drop(message.kind, reason="offline")
             return
+        injector = self.fault_injector
+        if injector is not None:
+            drop_reason = injector.on_send(message)
+            if drop_reason is not None:
+                self.metrics.record_drop(message.kind, reason=drop_reason)
+                return
         delay = self.latency.sample(message.src, message.dst, self.rng)
         values = message.payload.get("values")
         values_count = len(values) if isinstance(values, (list, set)) else 0
         self.metrics.record_send(message.kind, delay, values_count,
                                  op_tag=message.op_tag)
-        self.loop.schedule(delay, self._deliver, message)
+        if injector is not None:
+            # The injector owns scheduling for faulted links: it may
+            # add jitter, clone duplicates or hold the message back to
+            # reorder it behind later traffic.  Unmatched messages are
+            # scheduled exactly as below.
+            injector.dispatch(message, delay, self._deliver)
+        else:
+            self.loop.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
         if node is None or not node.online:
             # Destination went offline while the message was in flight.
-            self.metrics.record_drop(message.kind)
+            self.metrics.record_drop(message.kind, reason="in_flight")
             return
         if message.op_tag is not None:
             # Re-open the scope so messages sent by the handler inherit

@@ -70,6 +70,33 @@ class StatsAntiEntropy:
         """Stop scheduling new rounds (in-flight replies still merge)."""
         self._running = False
 
+    def sweep(self) -> int:
+        """One full anti-entropy round: pull from *every* online peer.
+
+        The periodic ticks sample ``fanout`` random peers, which is
+        cheap but converges slowly after a partition heals — digests
+        authored on the far side may sit behind many hops of
+        round-robin gossip.  A sweep asks everyone directly; since
+        each pull reply leads with the answering peer's own fresh
+        digest, one sweep (plus delivery) makes the origin's registry
+        hold the newest digest of every reachable peer — the state
+        the fault lab's synopsis-convergence invariant is defined
+        over.  Returns the number of pulls sent.
+        """
+        peer = self.peers.get(self.origin)
+        if peer is None or peer.network is None or not peer.online:
+            return 0
+        sent = 0
+        for target in sorted(self.peers):
+            if target == self.origin:
+                continue
+            if not peer.network.is_online(target):
+                continue
+            self.pulls_sent += 1
+            sent += 1
+            peer.send(target, "stats_pull", {"budget": PULL_BUDGET})
+        return sent
+
     def _tick(self) -> None:
         if not self._running:
             return

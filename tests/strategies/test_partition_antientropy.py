@@ -1,0 +1,119 @@
+"""Stateful property test: synopsis anti-entropy under partitions.
+
+A Hypothesis rule machine drives arbitrary interleavings of
+
+* **partition** — cut the deployment in two (any split point,
+  symmetric or one-way) through the fault injector;
+* **heal** — lift the cut;
+* **mutate** — insert a triple into some peer's local database,
+  bumping its synopsis version;
+* **pull** — run an anti-entropy sweep from the observing origin
+  (pulls crossing an active cut simply vanish — that is the point);
+
+and asserts, whenever it heals and sweeps, the synopsis-convergence
+invariant from the fault lab: the origin's CRDT registry holds every
+peer's *newest* digest.  Registry merges are commutative, idempotent
+and associative (property-tested in ``tests/strategies/synopses.py``),
+so no partition/mutation/pull schedule may leave the healed sweep
+short of convergence.
+"""
+
+import itertools
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.faultlab import FaultInjector, FaultPlan, Partition
+from repro.faultlab.invariants import (
+    LabContext,
+    check_synopsis_convergence,
+)
+from repro.mediation.network import GridVineNetwork
+from repro.rdf.terms import URI, Literal
+from repro.rdf.triples import Triple
+from repro.schema.model import Schema
+from repro.stats.gossip import StatsAntiEntropy
+
+NUM_PEERS = 8
+
+
+def build_net() -> GridVineNetwork:
+    net = GridVineNetwork.build(num_peers=NUM_PEERS, seed=11,
+                                replication=2)
+    net.insert_schema(Schema("S", ["p"], domain="d"))
+    net.insert_triples([
+        Triple(URI(f"S:seed{i}"), URI("S#p"), Literal(f"v{i}"))
+        for i in range(4)
+    ])
+    net.settle()
+    return net
+
+
+class PartitionHealPullMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.net = build_net()
+        self.peer_ids = sorted(self.net.peers)
+        self.origin = self.peer_ids[0]
+        self.anti = StatsAntiEntropy(self.net.peers, self.origin,
+                                     rng=random.Random(5))
+        self.injector = None
+        self._fresh = itertools.count()
+
+    def _heal(self):
+        if self.injector is not None:
+            self.injector.uninstall()
+            self.injector = None
+
+    @rule(cut=st.integers(min_value=1, max_value=NUM_PEERS - 1),
+          symmetric=st.booleans())
+    def partition(self, cut, symmetric):
+        """Cut the network at an arbitrary point (replaces any cut)."""
+        self._heal()
+        plan = FaultPlan(seed=0, faults=(
+            Partition(side_a=tuple(self.peer_ids[:cut]),
+                      side_b=tuple(self.peer_ids[cut:]),
+                      symmetric=symmetric),
+        ))
+        self.injector = FaultInjector(self.net.network, plan).install()
+
+    @rule()
+    def heal(self):
+        self._heal()
+
+    @rule(index=st.integers(min_value=0, max_value=NUM_PEERS - 1))
+    def mutate(self, index):
+        """Advance one peer's synopsis version past anything pulled."""
+        peer = self.net.peers[self.peer_ids[index]]
+        peer.db.add(Triple(URI(f"S:new{next(self._fresh)}"),
+                           URI("S#p"), Literal("x")))
+
+    @rule()
+    def pull(self):
+        """A sweep that may race an active partition (pulls crossing
+        the cut are dropped; partial progress must never corrupt the
+        registry)."""
+        self.anti.sweep()
+        self.net.loop.run_until(self.net.loop.now + 5.0)
+
+    @rule()
+    def heal_and_converge(self):
+        """The invariant: heal + one sweep => full convergence."""
+        self._heal()
+        self.anti.sweep()
+        self.net.settle()
+        gaps = check_synopsis_convergence(
+            LabContext(net=self.net, origin=self.origin))
+        assert gaps == [], "\n".join(gaps)
+
+    def teardown(self):
+        self._heal()
+
+
+# Each example builds a real 8-peer deployment, so the budget trades
+# example count for step depth (the interleavings are what matter).
+TestPartitionAntiEntropy = PartitionHealPullMachine.TestCase
+TestPartitionAntiEntropy.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None)

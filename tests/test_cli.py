@@ -127,3 +127,56 @@ class TestStatsCommand:
         assert "local triples" in out
         assert "registry" in out
         assert "mean relative error" in out
+
+
+class TestChaosCommand:
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_chaos_intensity_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["chaos", "run", "--intensity", "apocalyptic"])
+        args = build_parser().parse_args(
+            ["chaos", "explore", "--intensity", "heavy"])
+        assert args.intensity == "heavy"
+        assert args.budget == 8
+
+    def test_chaos_run_green_seed(self, capsys):
+        code = main(["chaos", "run", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault schedule:" in out
+        assert "invariants: all hold" in out
+
+    def test_chaos_explore_reports_budget(self, capsys):
+        code = main(["chaos", "explore", "--budget", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explored 2 seed(s)" in out
+        assert "2 passed, 0 failed" in out
+
+    def test_chaos_replay_reproduces_failure_and_shrinks(self, capsys):
+        """Acceptance: replay from the printed seed alone reproduces
+        the failure, and --shrink emits a strictly smaller schedule
+        that still fails."""
+        code = main(["chaos", "replay", "--seed", "0",
+                     "--intensity", "extreme",
+                     "--min-live-recall", "0.8", "--shrink"])
+        assert code == 1  # the failure reproduced
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "live_recall" in out
+        assert "minimal reproducer" in out
+        # the shrunk schedule is strictly smaller than the original
+        assert "shrunk 8 -> 1 fault clause(s)" in out
+
+    def test_chaos_replay_passing_seed_nothing_to_shrink(self, capsys):
+        code = main(["chaos", "replay", "--seed", "0", "--shrink"])
+        assert code == 0
+        assert "nothing to shrink" in capsys.readouterr().out
+
+    def test_chaos_listed_in_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "E17" in capsys.readouterr().out

@@ -212,3 +212,38 @@ class TestChurnOnDeployment:
         net.loop.run_until(net.loop.now + 100.0)
         churn.stop()
         churn.assert_consistent()
+
+
+class TestDropAccounting:
+    def test_churn_scenario_reports_offline_drops(self):
+        """Regression: messages sent to peers that churn took offline
+        were silently dropped with no cause attached; the reason-
+        tagged breakdown must surface them on the report."""
+        report = ScenarioRunner.from_spec(small_spec()).run()
+        assert report.failures > 0
+        assert report.drops_by_reason.get("offline", 0) > 0
+        # every drop is accounted to exactly one reason
+        assert sum(report.drops_by_reason.values()) == \
+            report.messages_dropped
+
+    def test_quiet_scenario_reports_no_drops(self):
+        report = ScenarioRunner.from_spec(
+            small_spec(churn=False, maintenance=False)).run()
+        assert report.messages_dropped == 0
+        assert report.drops_by_reason == {}
+
+
+class TestEngineExposure:
+    def test_engine_strategy_exposes_engine(self):
+        runner = ScenarioRunner.from_spec(
+            small_spec(strategy="engine", churn=False, num_queries=2))
+        assert runner.engine is None
+        runner.run()
+        assert runner.engine is not None
+        assert runner.engine.stats.queries_executed == 2
+
+    def test_other_strategies_leave_engine_none(self):
+        runner = ScenarioRunner.from_spec(
+            small_spec(churn=False, num_queries=2))
+        runner.run()
+        assert runner.engine is None
