@@ -15,6 +15,7 @@ workload over a mapping chain S0 -> S1 -> S2 -> S3:
 """
 
 from conftest import report, run_once
+from record import measure, record
 
 from repro import GridVineNetwork, Literal, Schema, Triple, URI
 
@@ -61,25 +62,39 @@ def test_e13_plan_cache_and_batching(benchmark, scale):
     queries = workload(repeats)
 
     def run():
-        # -- cold: plan cache disabled, every query re-plans ----------
-        net = build_corpus()
-        cold = net.create_engine(domain="e13", cache_capacity=0)
-        for query in queries:
-            cold.search_for(query)
-        # -- warm: plan cache on, same sequential workload ------------
-        net = build_corpus()
-        warm = net.create_engine(domain="e13")
-        sequential_messages = 0
-        for query in queries:
-            sequential_messages += warm.search_for(query).messages
-        # -- batched: same workload, one batch, shared lookups --------
-        net = build_corpus()
-        batched = net.create_engine(domain="e13")
-        result = batched.execute_batch(queries)
-        return (cold.stats.snapshot(), warm.stats.snapshot(),
-                batched.stats.snapshot(), sequential_messages, result)
+        walls = {}
 
-    cold, warm, batched, sequential_messages, result = run_once(
+        # -- cold: plan cache disabled, every query re-plans ----------
+        def run_cold():
+            net = build_corpus()
+            cold = net.create_engine(domain="e13", cache_capacity=0)
+            for query in queries:
+                cold.search_for(query)
+            return cold
+
+        # -- warm: plan cache on, same sequential workload ------------
+        def run_warm():
+            net = build_corpus()
+            warm = net.create_engine(domain="e13")
+            sequential_messages = 0
+            for query in queries:
+                sequential_messages += warm.search_for(query).messages
+            return warm, sequential_messages
+
+        # -- batched: same workload, one batch, shared lookups --------
+        def run_batched():
+            net = build_corpus()
+            batched = net.create_engine(domain="e13")
+            return batched, batched.execute_batch(queries)
+
+        cold, walls["cold"] = measure(run_cold)
+        (warm, sequential_messages), walls["warm"] = measure(run_warm)
+        (batched, result), walls["batched"] = measure(run_batched)
+        return (cold.stats.snapshot(), warm.stats.snapshot(),
+                batched.stats.snapshot(), sequential_messages, result,
+                walls)
+
+    cold, warm, batched, sequential_messages, result, walls = run_once(
         benchmark, run)
     report("E13", f"workload: {len(queries)} queries "
                   f"({len(workload(1))} distinct shapes x {repeats})")
@@ -93,6 +108,20 @@ def test_e13_plan_cache_and_batching(benchmark, scale):
                   f"batched {batched['messages']}; pattern lookups "
                   f"{result.patterns_total} -> {result.patterns_fetched} "
                   f"({result.lookups_saved} saved by dedup)")
+    record("E13", scale=scale, runs=[
+        {"mode": "cold", "wall_clock_s": round(walls["cold"], 3),
+         "rows": len(queries),
+         "planner_invocations": cold["planner_invocations"],
+         "cache_hits": cold["cache"]["hits"]},
+        {"mode": "warm", "wall_clock_s": round(walls["warm"], 3),
+         "rows": len(queries), "messages": sequential_messages,
+         "planner_invocations": warm["planner_invocations"],
+         "cache_hits": warm["cache"]["hits"]},
+        {"mode": "batched", "wall_clock_s": round(walls["batched"], 3),
+         "rows": len(queries), "messages": batched["messages"],
+         "patterns_total": result.patterns_total,
+         "patterns_fetched": result.patterns_fetched},
+    ], totals={"queries": len(queries), "seed": 29})
 
     # A repeated query plans once warm, every time cold: >= 5x fewer.
     assert cold["planner_invocations"] >= \

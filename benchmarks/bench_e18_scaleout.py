@@ -1,0 +1,151 @@
+"""E18 — scale-out: one 10k-peer deployment on both transports.
+
+The tentpole claim of the transport refactor: the same P-Grid
+deployment (trie assignment, sampled routing tables, preloaded replica
+groups, query waves, churn trace) runs unchanged on the single-loop
+``InProcessTransport`` and on the windowed ``ShardedTransport``, and
+sharding pays for itself at scale even inside one process — the
+per-shard event queues and the leaner windowed send path beat the one
+big heap.
+
+Two scenarios, each at every engine configuration (in-process
+baseline, 2 shards, 4 shards):
+
+* **routing** — all peers online, five waves of retrieves; engines
+  must agree *exactly* on success counts (the deployment fixes every
+  outcome when nothing churns).
+* **churn** — the same deployment under a precomputed exponential
+  outage trace; engines agree statistically (close success rates).
+
+Wall-clock is best-of-N with the cyclic GC paused during each timed
+run (both engines allocate heavily; collector pauses otherwise
+dominate the few-percent margins being measured).  Peak RSS is
+reported per engine.  ``REPRO_BENCH_E18_PEERS`` overrides the peer
+count (CI's scale-smoke job runs 5000).
+"""
+
+import gc
+import os
+
+from conftest import report, run_once
+from record import record
+
+from repro.pgrid.scaleout import (
+    ScaleoutSpec,
+    build_deployment,
+    run_inprocess,
+    run_sharded,
+)
+
+
+def _spec(scale, churn, num_shards=4):
+    peers = int(os.environ.get("REPRO_BENCH_E18_PEERS", "0"))
+    if not peers:
+        peers = 10_000 if scale == "full" else 2_000
+    quick = peers < 5_000
+    return ScaleoutSpec(
+        num_peers=peers,
+        num_shards=num_shards,
+        churn=churn,
+        num_keys=200 if quick else 1000,
+        ops_per_wave=100 if quick else 200,
+        num_waves=3 if quick else 5,
+        duration=60.0 if quick else 120.0,
+    )
+
+
+def _timed(run, repeats):
+    """Best-of-``repeats`` with the cyclic GC paused during each run.
+
+    Returns ``(best_report, [wall_clock_s, ...])``.  Every engine gets
+    the identical treatment, so collector scheduling cannot tilt the
+    comparison either way.
+    """
+    best, walls = None, []
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            result = run()
+        finally:
+            gc.enable()
+        walls.append(result.wall_clock_s)
+        if best is None or result.wall_clock_s < best.wall_clock_s:
+            best = result
+    return best, walls
+
+
+def test_e18_scaleout(benchmark, scale):
+    repeats = 3 if scale == "full" else 2
+    shard_counts = (2, 4)
+
+    def run():
+        results = {}
+        for scenario in ("routing", "churn"):
+            churn = scenario == "churn"
+            deployment = build_deployment(_spec(scale, churn))
+            rows = {}
+            rows["inprocess"] = _timed(
+                lambda: run_inprocess(_spec(scale, churn), deployment),
+                repeats)
+            for shards in shard_counts:
+                spec = _spec(scale, churn, num_shards=shards)
+                rows[f"sharded{shards}"] = _timed(
+                    lambda: run_sharded(spec, deployment), repeats)
+            results[scenario] = rows
+        return results
+
+    results = run_once(benchmark, run)
+
+    spec = _spec(scale, False)
+    report("E18", f"{spec.num_peers} peers, "
+                  f"{spec.num_waves}x{spec.ops_per_wave} retrieves, "
+                  f"best of {repeats} (gc paused during timed runs)")
+    rows = []
+    for scenario, engines in results.items():
+        report("E18", f"{scenario:>8} | {'engine':>10} {'wall s':>8} "
+                      f"{'success':>8} {'hops':>6} {'msgs':>9} "
+                      f"{'rss MB':>7}")
+        for label, (best, walls) in engines.items():
+            report("E18",
+                   f"{'':>8} | {label:>10} {best.wall_clock_s:>8.3f} "
+                   f"{best.successes:>8} {best.mean_hops:>6.2f} "
+                   f"{best.messages_sent:>9} "
+                   f"{best.peak_rss_kb / 1024:>7.0f}")
+            summary = best.summary()
+            summary.update(scenario=scenario, label=label,
+                           wall_clock_runs_s=[round(w, 3) for w in walls])
+            rows.append(summary)
+    record("E18", scale=scale, runs=rows,
+           totals={"num_peers": spec.num_peers, "repeats": repeats,
+                   "shard_counts": list(shard_counts)})
+
+    # Every engine completes the full workload.
+    for engines in results.values():
+        for best, _walls in engines.values():
+            assert best.ops_completed == best.ops_issued
+    # All-online, the deployment fixes every outcome: engines agree
+    # exactly on the success count (and everything succeeds — the
+    # tables were sampled with full per-level coverage).
+    routing = {label: best for label, (best, _w) in
+               results["routing"].items()}
+    baseline = routing["inprocess"]
+    assert baseline.successes == baseline.ops_issued
+    for best in routing.values():
+        assert best.successes == baseline.successes
+    # Under churn the engines interleave deliveries differently, so
+    # recall matches statistically, not bit-for-bit.
+    churned = {label: best for label, (best, _w) in
+               results["churn"].items()}
+    for best in churned.values():
+        assert abs(best.success_rate
+                   - churned["inprocess"].success_rate) < 0.05
+    # The tentpole perf claim: at scale, >= 2 shards beats the
+    # single-loop baseline on wall-clock.  Below ~5k peers the window
+    # protocol's barrier overhead is not yet amortized, so the small
+    # quick configuration only reports the numbers.
+    if spec.num_peers >= 5_000:
+        best_sharded = min(
+            best.wall_clock_s for label, (best, _w) in
+            results["routing"].items() if label != "inprocess")
+        assert best_sharded < routing["inprocess"].wall_clock_s

@@ -1,0 +1,65 @@
+"""Benchmark baseline recorder: committed ``BENCH_<exp>.json`` files.
+
+Each experiment bench calls :func:`record` once with its headline
+numbers — wall time, message counts, result rows, peak RSS, one entry
+per seed/configuration — and the recorder writes them next to the
+bench sources as ``BENCH_<exp>.json``.  The files are committed, so a
+future PR can diff its own run against the baseline the previous PR
+shipped (CI additionally uploads them as artifacts from the
+``scale-smoke`` job).
+
+The JSON is deliberately timestamp-free: re-running an unchanged bench
+on comparable hardware produces a file whose *structure* diffs clean,
+and whose numeric drift is the signal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import time
+from typing import Any, Callable
+
+#: where BENCH_<exp>.json files live (next to the bench sources)
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in KiB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def measure(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` and return ``(result, wall_clock_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def record(experiment: str, *, scale: str, runs: list[dict],
+           totals: dict | None = None,
+           directory: str | None = None) -> str:
+    """Write ``BENCH_<experiment>.json`` and return its path.
+
+    ``runs`` is one dict per seed/configuration (each should carry at
+    least a label plus its wall time / message count / row count);
+    ``totals`` merges experiment-level headline numbers into the top
+    level.  Peak RSS and the python version are stamped automatically.
+    """
+    payload: dict[str, Any] = {
+        "experiment": experiment,
+        "scale": scale,
+        "python": platform.python_version(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if totals:
+        payload.update(totals)
+    payload["runs"] = runs
+    path = os.path.join(directory or BENCH_DIR,
+                        f"BENCH_{experiment}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

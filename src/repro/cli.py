@@ -39,8 +39,14 @@ booth:
     minimizes the failing schedule to the smallest clause set that
     still fails.
 
+``scaleout``
+    Run one scale-out deployment (:mod:`repro.pgrid.scaleout`) on a
+    chosen transport — the single-loop baseline or the windowed
+    sharded engine at any shard count — and print the engine-
+    comparable report (successes, hops, messages, wall clock, RSS).
+
 ``experiments``
-    List the E1..E17 benchmark targets and how to run them.
+    List the E1..E18 benchmark targets and how to run them.
 """
 
 from __future__ import annotations
@@ -85,6 +91,8 @@ _EXPERIMENTS = [
      "bench_e16_optimizer.py"),
     ("E17", "partition recall with anti-entropy repair on/off",
      "bench_e17_partition_recall.py"),
+    ("E18", "10k-peer scale-out: sharded vs single-loop transport",
+     "bench_e18_scaleout.py"),
 ]
 
 
@@ -412,6 +420,36 @@ def cmd_chaos(args) -> int:
     return 0 if trial.ok else 1
 
 
+def cmd_scaleout(args) -> int:
+    from repro.pgrid.scaleout import (
+        ScaleoutSpec,
+        run_inprocess,
+        run_sharded,
+    )
+
+    spec = ScaleoutSpec(
+        num_peers=args.peers,
+        num_shards=args.shards,
+        mode=args.mode,
+        seed=args.seed,
+        num_keys=args.keys,
+        ops_per_wave=args.ops,
+        num_waves=args.waves,
+        churn=args.churn,
+    )
+    engine = run_inprocess if args.engine == "inprocess" else run_sharded
+    shards = "" if args.engine == "inprocess" else \
+        f" x {spec.num_shards} shards ({spec.mode})"
+    print(f"scaleout: {spec.num_peers} peers{shards}, "
+          f"{spec.num_waves} waves x {spec.ops_per_wave} retrieves "
+          f"over {spec.num_keys} keys, churn "
+          f"{'on' if spec.churn else 'off'}")
+    report = engine(spec)
+    for key, value in report.summary().items():
+        print(f"  {key:<22} {value}")
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     print("experiment benchmarks (see EXPERIMENTS.md for recorded "
           "paper-vs-measured results):\n")
@@ -570,6 +608,33 @@ def build_parser() -> argparse.ArgumentParser:
                                    "still fails")
     _add_chaos_args(chaos_replay)
     chaos_replay.set_defaults(func=cmd_chaos)
+
+    scaleout = sub.add_parser(
+        "scaleout", help="run one scale-out deployment on the sharded "
+                         "or single-loop transport and report "
+                         "engine-comparable numbers")
+    scaleout.add_argument("--engine", default="sharded",
+                          choices=["inprocess", "sharded"],
+                          help="inprocess: one event loop (the E18 "
+                               "baseline); sharded: windowed shards "
+                               "over the trie key space")
+    scaleout.add_argument("--peers", type=int, default=2000)
+    scaleout.add_argument("--shards", type=int, default=4,
+                          help="shard count (sharded engine only)")
+    scaleout.add_argument("--mode", default="inline",
+                          choices=["inline", "process"],
+                          help="run shards in-process or as forked "
+                               "workers (identical results either way)")
+    scaleout.add_argument("--seed", type=int, default=0)
+    scaleout.add_argument("--keys", type=int, default=200,
+                          help="distinct preloaded needle keys")
+    scaleout.add_argument("--ops", type=int, default=100,
+                          help="retrieve operations per wave")
+    scaleout.add_argument("--waves", type=int, default=3)
+    scaleout.add_argument("--churn", action="store_true",
+                          help="replay the seeded exponential outage "
+                               "trace while the waves run")
+    scaleout.set_defaults(func=cmd_scaleout)
 
     experiments = sub.add_parser("experiments",
                                  help="list benchmark targets")

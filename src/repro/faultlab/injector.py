@@ -42,23 +42,32 @@ from repro.faultlab.plan import (
     clause_seed,
 )
 from repro.simnet.events import SimulationError
-from repro.simnet.network import Message, SimNetwork
+from repro.simnet.network import Message
+from repro.simnet.transport import Transport
 
 #: virtual seconds a released held message trails the overtaking one
 _REORDER_EPSILON = 1e-3
 
 
 class FaultInjector:
-    """Applies one :class:`FaultPlan` to one :class:`SimNetwork`.
+    """Applies one :class:`FaultPlan` to one :class:`Transport`.
+
+    Fault injection lives at the transport layer: the transport calls
+    :meth:`on_send` for a pre-latency drop verdict and hands delivery
+    scheduling to :meth:`dispatch`, so the same fault plans apply to
+    any transport implementation (the in-process network or a shard's
+    local transport).
 
     Use as a context manager (``with FaultInjector(net, plan):``) or
     call :meth:`install` / :meth:`uninstall` explicitly.  Counters in
     :attr:`injected` (and the per-kind breakdown in
-    ``network.metrics.faults_by_kind``) record what actually fired.
+    ``transport.metrics.faults_by_kind``) record what actually fired.
     """
 
-    def __init__(self, network: SimNetwork, plan: FaultPlan) -> None:
-        self.network = network
+    def __init__(self, transport: Transport, plan: FaultPlan) -> None:
+        self.transport = transport
+        #: historical alias for :attr:`transport`
+        self.network = transport
         self.plan = plan
         #: action -> times it fired (drop, partition, duplicate,
         #: delay, reorder, crash, restart)
@@ -104,18 +113,18 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def install(self) -> "FaultInjector":
-        """Attach to the network and schedule crash/restart events."""
-        if self.network.fault_injector is not None:
+        """Attach to the transport and schedule crash/restart events."""
+        if self.transport.fault_injector is not None:
             raise SimulationError("another fault injector is installed")
-        self.network.fault_injector = self
+        self.transport.install_fault_injector(self)
         self._installed = True
-        self._epoch = self.network.loop.now
+        self._epoch = self.transport.loop.now
         for clause in self.plan.faults:
             if isinstance(clause, CrashRestart):
-                self.network.loop.schedule(
+                self.transport.loop.schedule(
                     clause.at, self._crash, clause)
                 if clause.restart_at != FOREVER:
-                    self.network.loop.schedule(
+                    self.transport.loop.schedule(
                         clause.restart_at, self._restart, clause.node)
         return self
 
@@ -130,12 +139,11 @@ class FaultInjector:
         if not self._installed:
             return
         self._installed = False
-        if self.network.fault_injector is self:
-            self.network.fault_injector = None
+        self.transport.uninstall_fault_injector(self)
         for link in sorted(self._held):
             for message, delay, flush_handle in self._held[link]:
                 flush_handle.cancel()
-                self.network.loop.schedule(delay, self.network._deliver,
+                self.transport.loop.schedule(delay, self.transport._deliver,
                                            message)
         self._held.clear()
         for node_id in sorted(self._down):
@@ -155,11 +163,11 @@ class FaultInjector:
         if not self._installed:
             return
         node_id = clause.node
-        if node_id not in self.network:
+        if node_id not in self.transport:
             return
-        if not self.network.is_online(node_id):
+        if not self.transport.is_online(node_id):
             return  # someone else (e.g. churn) beat us to it
-        self.network.set_online(node_id, False)
+        self.transport.set_online(node_id, False)
         self._down.add(node_id)
         self._record("crash", "node")
 
@@ -167,11 +175,11 @@ class FaultInjector:
         if node_id not in self._down:
             return  # not ours, or already restarted
         self._down.discard(node_id)
-        if node_id not in self.network:
+        if node_id not in self.transport:
             return
-        if self.network.is_online(node_id):
+        if self.transport.is_online(node_id):
             return  # externally recovered meanwhile
-        self.network.set_online(node_id, True)
+        self.transport.set_online(node_id, True)
         self._record("restart", "node")
 
     def currently_down(self) -> set[str]:
@@ -188,7 +196,7 @@ class FaultInjector:
         Partitions are consulted first (they are absolute, no
         probability), then drop clauses in plan order.
         """
-        now = self.network.loop.now - self._epoch
+        now = self.transport.loop.now - self._epoch
         for cut in self._partitions:
             if cut.blocks(message, now):
                 self._record("partition", message.kind)
@@ -208,8 +216,8 @@ class FaultInjector:
         message; faults only ever *add* to it, never consume network
         randomness.
         """
-        now = self.network.loop.now - self._epoch
-        loop = self.network.loop
+        now = self.transport.loop.now - self._epoch
+        loop = self.transport.loop
         for index, clause in self._delays:
             if clause.matches(message, now):
                 rng = self._rngs[index]
@@ -245,7 +253,7 @@ class FaultInjector:
     def _hold(self, link: tuple[str, str], message: Message,
               delay: float, hold_max: float) -> None:
         entry: list = [message, delay, None]
-        entry[2] = self.network.loop.schedule(
+        entry[2] = self.transport.loop.schedule(
             hold_max, self._flush, link, id(message))
         self._held.setdefault(link, []).append(tuple(entry))
 
@@ -257,9 +265,9 @@ class FaultInjector:
             return
         for offset, (message, _delay, flush_handle) in enumerate(held, 1):
             flush_handle.cancel()
-            self.network.loop.schedule(
+            self.transport.loop.schedule(
                 after_delay + offset * _REORDER_EPSILON,
-                self.network._deliver, message)
+                self.transport._deliver, message)
 
     def _flush(self, link: tuple[str, str], message_id: int) -> None:
         """Timeout release: the link stayed quiet past ``hold_max``."""
@@ -270,7 +278,7 @@ class FaultInjector:
         for entry in held:
             message, delay, _flush_handle = entry
             if id(message) == message_id:
-                self.network.loop.schedule(delay, self.network._deliver,
+                self.transport.loop.schedule(delay, self.transport._deliver,
                                            message)
             else:
                 kept.append(entry)
@@ -285,7 +293,7 @@ class FaultInjector:
 
     def _record(self, action: str, kind: str) -> None:
         self.injected[action] = self.injected.get(action, 0) + 1
-        self.network.metrics.record_fault(action, kind)
+        self.transport.metrics.record_fault(action, kind)
 
     def _clone(self, message: Message) -> Message:
         """A duplicate delivery: same content, independent payload dict

@@ -139,6 +139,7 @@ class GridVinePeer(PGridPeer):
         #: executing with ``optimize=True`` (static strategies keep
         #: their historical behaviour bit for bit)
         self.optimizer = QueryOptimizer(self)
+        self.register_handler("refo_results", self._handle_refo_results)
 
     # ------------------------------------------------------------------
     # Statistics (see repro.stats)
@@ -525,15 +526,12 @@ class GridVinePeer(PGridPeer):
     # Protocol extensions
     # ------------------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if message.kind == "refo_results":
-            task = self._refo_tasks.get(message.payload["task_id"])
-            if task is not None:
-                task.on_results(message.payload["request_id"],
-                                message.payload["query"],
-                                message.payload["rows"])
-            return
-        super().on_message(message)
+    def _handle_refo_results(self, message: Message) -> None:
+        task = self._refo_tasks.get(message.payload["task_id"])
+        if task is not None:
+            task.on_results(message.payload["request_id"],
+                            message.payload["query"],
+                            message.payload["rows"])
 
     def _execute_op(self, op: str, key: Key, value: Any) -> tuple[list[Any] | None, bool]:
         if op == "search":

@@ -131,6 +131,54 @@ def _covers(path: Key, prefix: Key) -> bool:
     return path.is_prefix_of(prefix) or prefix.is_prefix_of(path)
 
 
+def build_routing_tables(
+    assignment: dict[str, Key],
+    refs_per_level: int = 2,
+    rng: random.Random | None = None,
+) -> dict[str, tuple[list[str], list[list[str]]]]:
+    """Derive replica lists and level references from a path assignment.
+
+    The pure-data form of :func:`populate_routing_tables`: it consumes
+    only a ``node_id -> path`` mapping and returns
+    ``node_id -> (replicas, routing_table)``, so shard workers can
+    construct their slice of peers from plain data without ever holding
+    peer objects for the rest of the deployment.
+
+    For peer ``p`` and level ``i``, eligible references are all peers
+    covering the complementary prefix ``pi(p)[:i] + flip`` — forwarding
+    to any of them strictly increases the common prefix with any key
+    that diverges from ``pi(p)`` at level ``i``, which is what makes
+    greedy prefix routing terminate in at most ``|pi(p)|`` hops.
+
+    The candidate scan is quadratic in peer count; for 10k+ peer
+    deployments use :func:`sample_routing_tables` instead (statistically
+    equivalent tables, near-linear construction).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    by_path: list[tuple[Key, str]] = [
+        (path, node_id) for node_id, path in assignment.items()
+    ]
+    tables: dict[str, tuple[list[str], list[list[str]]]] = {}
+    for node_id, path in assignment.items():
+        replicas = sorted(
+            other_id
+            for other_path, other_id in by_path
+            if other_id != node_id and other_path == path
+        )
+        routing_table: list[list[str]] = []
+        for level in range(len(path)):
+            complement = path.sibling_prefix(level)
+            candidates = [
+                other_id
+                for other_path, other_id in by_path
+                if other_id != node_id and _covers(other_path, complement)
+            ]
+            rng.shuffle(candidates)
+            routing_table.append(sorted(candidates[:refs_per_level]))
+        tables[node_id] = (replicas, routing_table)
+    return tables
+
+
 def populate_routing_tables(
     peers: dict[str, "PGridPeerLike"],
     refs_per_level: int = 2,
@@ -138,32 +186,89 @@ def populate_routing_tables(
 ) -> None:
     """Fill each peer's level references and replica list in place.
 
-    For peer ``p`` and level ``i``, eligible references are all peers
-    covering the complementary prefix ``pi(p)[:i] + flip`` — forwarding
-    to any of them strictly increases the common prefix with any key
-    that diverges from ``pi(p)`` at level ``i``, which is what makes
-    greedy prefix routing terminate in at most ``|pi(p)|`` hops.
+    A thin object-level wrapper over :func:`build_routing_tables`,
+    kept bit-identical to the historical behavior (same candidate
+    ordering, same rng consumption).
     """
-    rng = rng if rng is not None else random.Random(0)
-    by_path: list[tuple[Key, str]] = [
-        (peer.path, node_id) for node_id, peer in peers.items()
-    ]
+    assignment = {node_id: peer.path for node_id, peer in peers.items()}
+    tables = build_routing_tables(assignment, refs_per_level, rng)
     for node_id, peer in peers.items():
-        peer.replicas = sorted(
-            other_id
-            for other_path, other_id in by_path
-            if other_id != node_id and other_path == peer.path
-        )
-        peer.routing_table = []
-        for level in range(len(peer.path)):
-            complement = peer.path.sibling_prefix(level)
-            candidates = [
-                other_id
-                for other_path, other_id in by_path
-                if other_id != node_id and _covers(other_path, complement)
-            ]
-            rng.shuffle(candidates)
-            peer.routing_table.append(sorted(candidates[:refs_per_level]))
+        peer.replicas, peer.routing_table = tables[node_id]
+
+
+def sample_routing_tables(
+    assignment: dict[str, Key],
+    refs_per_level: int = 2,
+    rng: random.Random | None = None,
+) -> dict[str, tuple[list[str], list[list[str]]]]:
+    """Near-linear routing-table construction for large deployments.
+
+    :func:`build_routing_tables` materializes every eligible candidate
+    per (peer, level) — at level 0 that is half the network, which
+    makes the build quadratic and prohibitive beyond a few thousand
+    peers.  This variant *samples* ``refs_per_level`` references
+    directly from the candidate population using the trie structure:
+
+    - leaf paths are sorted; the leaves under a complement prefix form
+      one contiguous run (found by bisection), and when that run is
+      empty exactly one shallower leaf covers the prefix (leaves
+      partition the key space);
+    - a prefix-sum over per-leaf member counts turns "pick a uniform
+      random eligible peer" into two bisections.
+
+    Tables are statistically equivalent to the exhaustive builder's
+    (uniform choice without replacement among the same candidate set)
+    but not bit-identical to it; large-scale runs use this builder for
+    every engine under comparison, so A/B results stay fair.
+    """
+    import bisect
+
+    rng = rng if rng is not None else random.Random(0)
+    members: dict[str, list[str]] = {}
+    for node_id, path in assignment.items():
+        members.setdefault(path.bits, []).append(node_id)
+    leaf_bits = sorted(members)
+    counts = [len(members[bits]) for bits in leaf_bits]
+    starts = [0] * (len(counts) + 1)
+    for i, c in enumerate(counts):
+        starts[i + 1] = starts[i] + c
+
+    def _population(prefix_bits: str) -> tuple[int, int]:
+        """(first leaf index, total members) of leaves covering prefix."""
+        lo = bisect.bisect_left(leaf_bits, prefix_bits)
+        hi = bisect.bisect_right(leaf_bits, prefix_bits + "1" * 200)
+        if lo < hi:  # leaves inside the prefix subtree
+            return lo, starts[hi] - starts[lo]
+        # Empty run: the single shallower leaf containing the prefix.
+        i = lo - 1
+        while i >= 0:
+            if prefix_bits.startswith(leaf_bits[i]):
+                return i, counts[i]
+            if not prefix_bits.startswith(leaf_bits[i][:len(prefix_bits)]):
+                break
+            i -= 1
+        return lo, 0
+
+    def _member_at(first_leaf: int, offset: int) -> str:
+        leaf = bisect.bisect_right(starts, starts[first_leaf] + offset) - 1
+        return members[leaf_bits[leaf]][starts[first_leaf] + offset - starts[leaf]]
+
+    tables: dict[str, tuple[list[str], list[list[str]]]] = {}
+    for node_id, path in assignment.items():
+        replicas = sorted(m for m in members[path.bits] if m != node_id)
+        routing_table: list[list[str]] = []
+        for level in range(len(path)):
+            complement = path.sibling_prefix(level)
+            first, total = _population(complement.bits)
+            take = min(refs_per_level, total)
+            if take == 0:
+                routing_table.append([])
+                continue
+            offsets = rng.sample(range(total), take)
+            routing_table.append(
+                sorted(_member_at(first, off) for off in offsets))
+        tables[node_id] = (replicas, routing_table)
+    return tables
 
 
 class PGridPeerLike:

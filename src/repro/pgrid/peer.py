@@ -167,6 +167,26 @@ class PGridPeer(Node):
         self.stats_gossip = True
         #: deterministic round-robin position for gossip batches
         self._gossip_cursor = 0
+        self._register_protocol_handlers()
+
+    def _register_protocol_handlers(self) -> None:
+        """Wire the P-Grid protocol vocabulary into the actor registry.
+
+        Each message kind maps to one handler; deliveries arrive
+        through :meth:`~repro.simnet.network.Node.on_message`, which
+        dispatches through this registry — peers never receive calls
+        from other peer objects directly.
+        """
+        self.register_handler("route", self._handle_route)
+        self.register_handler("reply", self._handle_reply)
+        self.register_handler("replicate", self._handle_replicate)
+        self.register_handler("probe", self._handle_probe)
+        self.register_handler("probe_ack", self._handle_probe_ack)
+        self.register_handler("stats_pull", self._handle_stats_pull)
+        self.register_handler("stats_push", self._handle_stats_push)
+        self.register_handler("refs_request", self._handle_refs_request)
+        self.register_handler("refs_reply", self._handle_refs_reply)
+        self.register_handler("sync_push", self._handle_sync_push)
 
     # ------------------------------------------------------------------
     # Statistics dissemination (see repro.stats.gossip)
@@ -422,39 +442,27 @@ class PGridPeer(Node):
     # Message handling
     # ------------------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if message.kind == "route":
-            self._handle_route(message)
-        elif message.kind == "reply":
-            self._handle_reply(message)
-        elif message.kind == "replicate":
-            self._handle_replicate(message)
-        elif message.kind == "probe":
-            self.receive_synopses(message.payload.get("synopses") or ())
-            ack: dict[str, Any] = {"token": message.payload["token"]}
-            if self.stats_gossip and "synopses" in message.payload:
-                # Piggyback the return direction only when the prober
-                # gossips too, keeping A/B runs symmetric.
-                ack["synopses"] = self.gossip_synopses()
-            self.send(message.src, "probe_ack", ack)
-        elif message.kind == "probe_ack":
-            self._probe_pending.pop(message.payload["token"], None)
-            self.receive_synopses(message.payload.get("synopses") or ())
-        elif message.kind == "stats_pull":
-            self.send(message.src, "stats_push", {
-                "synopses": self.gossip_synopses(
-                    message.payload.get("budget") or PULL_BUDGET),
-            })
-        elif message.kind == "stats_push":
-            self.receive_synopses(message.payload.get("synopses") or ())
-        elif message.kind == "refs_request":
-            self._handle_refs_request(message)
-        elif message.kind == "refs_reply":
-            self._handle_refs_reply(message)
-        elif message.kind == "sync_push":
-            self._handle_sync_push(message)
-        else:
-            raise ValueError(f"unknown message kind {message.kind!r}")
+    def _handle_probe(self, message: Message) -> None:
+        self.receive_synopses(message.payload.get("synopses") or ())
+        ack: dict[str, Any] = {"token": message.payload["token"]}
+        if self.stats_gossip and "synopses" in message.payload:
+            # Piggyback the return direction only when the prober
+            # gossips too, keeping A/B runs symmetric.
+            ack["synopses"] = self.gossip_synopses()
+        self.send(message.src, "probe_ack", ack)
+
+    def _handle_probe_ack(self, message: Message) -> None:
+        self._probe_pending.pop(message.payload["token"], None)
+        self.receive_synopses(message.payload.get("synopses") or ())
+
+    def _handle_stats_pull(self, message: Message) -> None:
+        self.send(message.src, "stats_push", {
+            "synopses": self.gossip_synopses(
+                message.payload.get("budget") or PULL_BUDGET),
+        })
+
+    def _handle_stats_push(self, message: Message) -> None:
+        self.receive_synopses(message.payload.get("synopses") or ())
 
     def _handle_route(self, message: Message) -> None:
         key = Key(message.payload["key"])

@@ -1,0 +1,362 @@
+"""Scale-out harness: the same P-Grid deployment on either transport.
+
+The paper's deployment argument (§2.3) is about *scale*: GridVine's
+overlay work is logarithmic in network size, so the interesting regime
+starts where a single-loop simulation stops being practical.  This
+module builds one deterministic deployment — trie assignment, sampled
+routing tables, preloaded replica groups, query waves, churn trace —
+and runs it unchanged on either engine:
+
+- :func:`run_inprocess` — the classic single-event-loop
+  :class:`~repro.simnet.network.InProcessTransport` (the ``shards=1``
+  baseline in bench E18);
+- :func:`run_sharded` — the windowed
+  :class:`~repro.simnet.shard.ShardedTransport`, with the trie key
+  space partitioned into contiguous leaf runs so replica groups and
+  prefix-local traffic stay intra-shard.
+
+Everything the workload consumes is derived from the spec seed and
+node ids only (per-peer rng streams, per-wave query draws, per-node
+churn schedules), never from engine interleaving — so engines are
+comparable run-to-run and shard counts are comparable to each other.
+
+Engine equivalence has two tiers.  Within the sharded engine, results
+are *bit-identical* across worker modes (inline vs process) and across
+repeated runs — the conservative window protocol fixes the event
+order.  Between engines, results are *statistically equivalent*, not
+bit-identical: a peer consumes its private rng in the order messages
+reach it, and the two engines interleave same-window deliveries
+differently.  The tests pin the first tier exactly and bound the
+second (identical success outcomes all-online; close hop/recall
+distributions under churn).
+"""
+
+from __future__ import annotations
+
+import random
+import resource
+import time
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.pgrid.construction import (
+    assign_paths,
+    replica_groups,
+    sample_routing_tables,
+)
+from repro.pgrid.peer import PGridPeer
+from repro.simnet.churn import exponential_schedule
+from repro.simnet.latency import ConstantLatency
+from repro.simnet.network import InProcessTransport
+from repro.simnet.shard import (
+    ShardedTransport,
+    partition_paths,
+    summarize_op_result,
+)
+from repro.util.keys import Key
+
+
+@dataclass
+class ScaleoutSpec:
+    """One scale-out experiment: deployment + workload + engine knobs."""
+
+    num_peers: int = 10_000
+    replication: int = 4
+    refs_per_level: int = 2
+    seed: int = 0
+    #: shard count for :func:`run_sharded` (ignored by the baseline)
+    num_shards: int = 4
+    #: sharded worker mode: ``"inline"`` or ``"process"``
+    mode: str = "inline"
+    #: constant one-way delay — also the conservative lookahead window
+    latency_delay: float = 0.05
+    #: distinct stored needles (each replicated to its full group)
+    num_keys: int = 1000
+    #: retrieve operations per wave / number of waves
+    ops_per_wave: int = 200
+    num_waves: int = 5
+    #: churn scenario: toggle trace over ``duration`` with waves every
+    #: ``wave_interval`` (> peer timeout, so waves cannot overlap)
+    churn: bool = False
+    duration: float = 120.0
+    mean_uptime: float = 90.0
+    mean_downtime: float = 30.0
+    wave_interval: float = 20.0
+    #: peer protocol knobs
+    timeout: float = 15.0
+    max_retries: int = 1
+    failover: bool = True
+
+
+@dataclass
+class ScaleoutReport:
+    """What one engine run produced (plain data, bench-serializable)."""
+
+    engine: str
+    num_peers: int
+    num_shards: int
+    ops_issued: int = 0
+    ops_completed: int = 0
+    successes: int = 0
+    total_hops: int = 0
+    total_attempts: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    drops_by_reason: dict[str, int] = field(default_factory=dict)
+    events_processed: int = 0
+    virtual_time: float = 0.0
+    wall_clock_s: float = 0.0
+    peak_rss_kb: int = 0
+    per_shard_peak_rss_kb: list[int] = field(default_factory=list)
+    #: op ref -> (success, hops, latency, attempts, n_values), the
+    #: engine-comparable observable trace
+    outcomes: dict[int, tuple] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.ops_completed if self.ops_completed else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        wins = [o for o in self.outcomes.values() if o[0]]
+        return (sum(o[1] for o in wins) / len(wins)) if wins else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict digest for benchmark recording."""
+        return {
+            "engine": self.engine,
+            "num_peers": self.num_peers,
+            "num_shards": self.num_shards,
+            "ops_issued": self.ops_issued,
+            "ops_completed": self.ops_completed,
+            "successes": self.successes,
+            "success_rate": round(self.success_rate, 6),
+            "mean_hops": round(self.mean_hops, 6),
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "drops_by_reason": dict(self.drops_by_reason),
+            "events_processed": self.events_processed,
+            "virtual_time": round(self.virtual_time, 6),
+            "wall_clock_s": round(self.wall_clock_s, 3),
+            "peak_rss_kb": self.peak_rss_kb,
+            "per_shard_peak_rss_kb": list(self.per_shard_peak_rss_kb),
+        }
+
+
+# ----------------------------------------------------------------------
+# Deterministic deployment (shared by both engines)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Deployment:
+    """Everything both engines build identically from the spec."""
+
+    assignment: dict[str, Key]
+    tables: dict[str, tuple[list[str], list[list[str]]]]
+    #: needle key -> stored value
+    needles: dict[Key, str]
+    #: sorted leaf bits (for responsible-leaf lookup)
+    leaf_bits: list[str]
+    #: leaf bits -> replica-group member node ids
+    groups: dict[str, list[str]]
+    #: (time, node_id, online) churn toggles, empty when churn is off
+    toggles: list[tuple[float, str, bool]]
+    #: wave index -> list of (origin node id, needle key)
+    waves: list[list[tuple[str, Key]]]
+
+
+def _responsible_leaf(leaf_bits: list[str], key: Key) -> str:
+    """The leaf whose prefix covers ``key`` (leaves partition the space)."""
+    index = bisect_right(leaf_bits, key.bits) - 1
+    if index < 0 or not key.bits.startswith(leaf_bits[index]):
+        raise ValueError(f"no leaf covers key {key.bits[:16]}...")
+    return leaf_bits[index]
+
+
+def build_deployment(spec: ScaleoutSpec) -> Deployment:
+    """Build the engine-independent deployment for ``spec``.
+
+    Every random draw comes from a stream keyed by the seed and a
+    purpose tag, so the deployment is a pure function of the spec.
+    """
+    from repro.util.hashing import uniform_hash
+
+    assignment = assign_paths(
+        spec.num_peers, replication=spec.replication,
+        rng=random.Random(f"{spec.seed}/paths"))
+    tables = sample_routing_tables(
+        assignment, refs_per_level=spec.refs_per_level,
+        rng=random.Random(f"{spec.seed}/tables"))
+    needles = {uniform_hash(f"needle-{i}"): f"value-{i}"
+               for i in range(spec.num_keys)}
+    groups_by_key = replica_groups(assignment)
+    groups = {path.bits: sorted(members)
+              for path, members in groups_by_key.items()}
+    leaf_bits = sorted(groups)
+    node_ids = sorted(assignment)
+    needle_keys = list(needles)
+    waves = []
+    for wave in range(spec.num_waves):
+        rng = random.Random(f"{spec.seed}/wave/{wave}")
+        waves.append([
+            (node_ids[rng.randrange(len(node_ids))],
+             needle_keys[rng.randrange(len(needle_keys))])
+            for _ in range(spec.ops_per_wave)
+        ])
+    toggles = (
+        exponential_schedule(node_ids, spec.mean_uptime,
+                             spec.mean_downtime, spec.duration,
+                             seed=spec.seed)
+        if spec.churn else [])
+    return Deployment(assignment=assignment, tables=tables,
+                      needles=needles, leaf_bits=leaf_bits, groups=groups,
+                      toggles=toggles, waves=waves)
+
+
+def _stream(*parts: object) -> random.Random:
+    """A private rng stream keyed by plain values.
+
+    Seeding with a small int takes a fast path in CPython (string
+    seeds are hashed through SHA-512); at 10k peers the difference is
+    a tenth of a second of pure setup per engine run.
+    """
+    return random.Random(zlib.crc32("/".join(map(str, parts)).encode()))
+
+
+def _make_peer(spec: ScaleoutSpec, deployment: Deployment,
+               node_id: str) -> PGridPeer:
+    """One peer with its private rng stream and prebuilt tables."""
+    peer = PGridPeer(
+        node_id, deployment.assignment[node_id],
+        rng=_stream(spec.seed, "peer", node_id),
+        timeout=spec.timeout, max_retries=spec.max_retries,
+        failover=spec.failover)
+    peer.replicas, peer.routing_table = deployment.tables[node_id]
+    return peer
+
+
+def _preload(deployment: Deployment, peers: dict[str, PGridPeer]) -> None:
+    """Store every needle directly into its full replica group.
+
+    Both engines preload identically (no update traffic), so recall
+    differences between engines can only come from routing behavior.
+    """
+    for key, value in deployment.needles.items():
+        leaf = _responsible_leaf(deployment.leaf_bits, key)
+        for node_id in deployment.groups[leaf]:
+            peers[node_id].store.setdefault(key.bits, []).append(value)
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+
+def run_sharded(spec: ScaleoutSpec,
+                deployment: Deployment | None = None) -> ScaleoutReport:
+    """Run the deployment on the windowed sharded transport."""
+    deployment = deployment or build_deployment(spec)
+    started = time.perf_counter()
+    transport = ShardedTransport(
+        spec.num_shards, latency=ConstantLatency(spec.latency_delay),
+        seed=spec.seed, mode=spec.mode)
+    owner = partition_paths(deployment.assignment, spec.num_shards)
+    peers = {node_id: _make_peer(spec, deployment, node_id)
+             for node_id in sorted(deployment.assignment)}
+    _preload(deployment, peers)
+    for node_id, peer in peers.items():
+        transport.add_peer(peer, owner[node_id])
+    for at, node_id, online in deployment.toggles:
+        transport.set_online_at(at, node_id, online)
+    transport.start()
+
+    report = ScaleoutReport(engine=f"sharded/{spec.mode}",
+                            num_peers=spec.num_peers,
+                            num_shards=spec.num_shards)
+    for wave_index, wave in enumerate(deployment.waves):
+        if spec.churn:
+            transport.run_until(wave_index * spec.wave_interval)
+        for origin, key in wave:
+            transport.submit(origin, "retrieve", key)
+            report.ops_issued += 1
+        if not spec.churn:
+            transport.run_until_quiescent()
+    if spec.churn:
+        transport.run_until(spec.duration)
+    transport.run_until_quiescent()
+
+    stats = transport.stop()
+    merged = transport.metrics_snapshot()
+    report.outcomes = dict(transport.completed)
+    _fill_outcome_counts(report)
+    report.messages_sent = merged["messages_sent"]
+    report.messages_dropped = merged["messages_dropped"]
+    report.drops_by_reason = merged["drops_by_reason"]
+    report.events_processed = merged["events_processed"]
+    report.per_shard_peak_rss_kb = [s["peak_rss_kb"] for s in stats]
+    report.peak_rss_kb = max(report.per_shard_peak_rss_kb)
+    report.virtual_time = transport.now
+    report.wall_clock_s = time.perf_counter() - started
+    return report
+
+
+def run_inprocess(spec: ScaleoutSpec,
+                  deployment: Deployment | None = None) -> ScaleoutReport:
+    """Run the identical deployment on the single-loop transport."""
+    deployment = deployment or build_deployment(spec)
+    started = time.perf_counter()
+    net = InProcessTransport(latency=ConstantLatency(spec.latency_delay),
+                             rng=random.Random(f"{spec.seed}/latency"))
+    peers = {node_id: _make_peer(spec, deployment, node_id)
+             for node_id in sorted(deployment.assignment)}
+    _preload(deployment, peers)
+    for peer in peers.values():
+        net.attach(peer)
+    loop = net.loop
+    for at, node_id, online in deployment.toggles:
+        loop.schedule_at(at, net.set_online, node_id, online)
+
+    report = ScaleoutReport(engine="inprocess", num_peers=spec.num_peers,
+                            num_shards=1)
+    outcomes: dict[int, tuple] = {}
+    ref = 0
+    for wave_index, wave in enumerate(deployment.waves):
+        if spec.churn:
+            loop.run_until(wave_index * spec.wave_interval)
+        pending = []
+        for origin, key in wave:
+            future = peers[origin].retrieve(key)
+            future.add_done_callback(
+                lambda f, r=ref: outcomes.__setitem__(
+                    r, summarize_op_result(f.result())))
+            pending.append(future)
+            ref += 1
+            report.ops_issued += 1
+        if not spec.churn:
+            loop.run_until_idle()
+    if spec.churn:
+        loop.run_until(spec.duration)
+    loop.run_until_idle()
+
+    report.outcomes = outcomes
+    _fill_outcome_counts(report)
+    snap = net.metrics.snapshot()
+    report.messages_sent = snap["messages_sent"]
+    report.messages_dropped = snap["messages_dropped"]
+    report.drops_by_reason = snap["drops_by_reason"]
+    report.events_processed = loop.events_processed
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report.per_shard_peak_rss_kb = [rss]
+    report.peak_rss_kb = rss
+    report.virtual_time = loop.now
+    report.wall_clock_s = time.perf_counter() - started
+    return report
+
+
+def _fill_outcome_counts(report: ScaleoutReport) -> None:
+    report.ops_completed = len(report.outcomes)
+    for success, hops, _latency, attempts, _n in report.outcomes.values():
+        if success:
+            report.successes += 1
+            report.total_hops += hops
+        report.total_attempts += attempts

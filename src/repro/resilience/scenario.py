@@ -431,6 +431,10 @@ class ScenarioRunner:
         injector = None
         if has_faults:
             from repro.faultlab.injector import FaultInjector
+            # The injector hooks into the transport layer (on_send
+            # veto + dispatch), so the scenario is engine-agnostic:
+            # the network's transport is whatever the runner attached
+            # the peers to.
             injector = FaultInjector(net.network, spec.faults).install()
         loop.run_until(loop.now + spec.warmup)
 

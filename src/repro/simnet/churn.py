@@ -22,9 +22,51 @@ never re-recovered.
 from __future__ import annotations
 
 import random
+from typing import Iterable
 
 from repro.simnet.events import SimulationError
 from repro.simnet.network import SimNetwork
+
+
+def exponential_schedule(
+    node_ids: Iterable[str],
+    mean_uptime: float,
+    mean_downtime: float,
+    duration: float,
+    seed: int = 0,
+) -> list[tuple[float, str, bool]]:
+    """Precompute an exponential up/down toggle trace for every node.
+
+    :class:`ChurnProcess` draws outage times *online* from the shared
+    event loop's schedule order, which ties the trace to one engine's
+    interleaving.  Scale-out comparisons need the opposite: the same
+    churn trace replayed against different transports (in-process vs
+    sharded, any shard count), so each node's alternating
+    up/down periods are drawn here from a private per-node stream
+    ``Random(f"{seed}/churn/{node_id}")`` — the trace depends only on
+    the seed and node ids, never on the engine.
+
+    Returns ``(time, node_id, online)`` toggles sorted by time (ties
+    broken by node id), all within ``(0, duration)``; every node ends
+    scheduled to come back online (no stranded outage past the end).
+    """
+    if mean_uptime <= 0 or mean_downtime <= 0:
+        raise ValueError("mean uptime/downtime must be positive")
+    toggles: list[tuple[float, str, bool]] = []
+    for node_id in sorted(node_ids):
+        rng = random.Random(f"{seed}/churn/{node_id}")
+        t = rng.expovariate(1.0 / mean_uptime)
+        while t < duration:
+            toggles.append((t, node_id, False))
+            t += rng.expovariate(1.0 / mean_downtime)
+            if t >= duration:
+                # Never strand a node offline at the end of the trace.
+                toggles.append((min(t, duration - 1e-9), node_id, True))
+                break
+            toggles.append((t, node_id, True))
+            t += rng.expovariate(1.0 / mean_uptime)
+    toggles.sort(key=lambda item: (item[0], item[1]))
+    return toggles
 
 
 class ChurnProcess:

@@ -18,18 +18,31 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """A cancellable reference to a scheduled event."""
+    """A cancellable reference to a scheduled event.
 
-    __slots__ = ("time", "seq", "cancelled")
+    Cancellation is *lazy*: the heap entry stays queued and is skipped
+    when popped.  The owning loop keeps a live-event counter so
+    callers (e.g. the sharded transport's window stepper) can tell
+    "queue still holds work" from "queue holds only cancelled
+    tombstones" without draining it.
+    """
 
-    def __init__(self, time: float, seq: int) -> None:
+    __slots__ = ("time", "seq", "cancelled", "_loop", "_fired")
+
+    def __init__(self, time: float, seq: int,
+                 loop: "EventLoop | None" = None) -> None:
         self.time = time
         self.seq = seq
         self.cancelled = False
+        self._loop = loop
+        self._fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._loop is not None and not self._fired:
+                self._loop._live -= 1
 
 
 class CancelToken:
@@ -184,6 +197,7 @@ class EventLoop:
         self._seq = itertools.count()
         self._queue: list[tuple[float, int, EventHandle, Callable, tuple]] = []
         self._events_processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -195,13 +209,40 @@ class EventLoop:
         """Total number of events fired so far (for diagnostics)."""
         return self._events_processed
 
+    @property
+    def live_events(self) -> int:
+        """Queued events that are not cancelled (pending real work)."""
+        return self._live
+
+    def next_event_time(self) -> float | None:
+        """Virtual time of the earliest queued entry (``None`` if empty).
+
+        May point at a cancelled tombstone; use :attr:`live_events` to
+        decide whether stepping further can do real work at all.
+        """
+        return self._queue[0][0] if self._queue else None
+
+    def next_live_event_time(self) -> float | None:
+        """Virtual time of the earliest *non-cancelled* queued event.
+
+        Cancelled tombstones at the head of the heap are discarded on
+        the way (they could never fire anything), so repeated calls
+        are amortized O(1).  This is what lets the sharded transport's
+        window stepper jump over timeout tails that resolved early.
+        """
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
+
     def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self._now + delay
-        handle = EventHandle(time, next(self._seq))
+        handle = EventHandle(time, next(self._seq), loop=self)
         heapq.heappush(self._queue, (time, handle.seq, handle, callback, args))
+        self._live += 1
         return handle
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
@@ -212,6 +253,8 @@ class EventLoop:
         time, _seq, handle, callback, args = heapq.heappop(self._queue)
         if handle.cancelled:
             return
+        handle._fired = True
+        self._live -= 1
         self._now = time
         self._events_processed += 1
         callback(*args)

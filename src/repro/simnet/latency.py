@@ -34,6 +34,18 @@ class LatencyModel(Protocol):
         """Delay for one message from ``src`` to ``dst``."""
         ...
 
+    def min_delay(self) -> float:
+        """Lower bound on any sampled delay (the *lookahead* bound).
+
+        A conservative parallel simulation may run shards independently
+        for a window of this length: no message sent inside the window
+        can arrive at another shard before the window closes.  Models
+        with no positive lower bound return ``0.0``, in which case the
+        sharded transport needs an explicit window (and clamps
+        cross-shard delays up to it — a WAN propagation floor).
+        """
+        ...
+
 
 class ConstantLatency:
     """Every message takes exactly ``delay`` seconds."""
@@ -44,6 +56,9 @@ class ConstantLatency:
         self.delay = delay
 
     def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.delay
+
+    def min_delay(self) -> float:
         return self.delay
 
 
@@ -58,6 +73,9 @@ class UniformLatency:
 
     def sample(self, src: str, dst: str, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def min_delay(self) -> float:
+        return self.low
 
 
 class LogNormalWANLatency:
@@ -123,3 +141,7 @@ class LogNormalWANLatency:
         if self._is_slow(dst, rng):
             delay += rng.expovariate(1000.0 / self.straggler_ms)
         return delay
+
+    def min_delay(self) -> float:
+        # The log-normal base has no positive lower bound.
+        return 0.0

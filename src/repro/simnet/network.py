@@ -5,27 +5,36 @@ each other; sending a message samples a latency from the configured
 model and schedules delivery on the event loop.  Offline destinations
 silently drop messages (senders are expected to use timeouts or replica
 retries, exactly as over a real WAN).
+
+:class:`SimNetwork` is the in-process implementation of the
+:class:`~repro.simnet.transport.Transport` boundary — the name
+:data:`InProcessTransport` is the canonical alias in transport-facing
+code.  Peers receive deliveries through the handler registry on
+:class:`Node`: each message kind maps to one registered handler, which
+is what makes peers addressable actors rather than objects calling into
+each other.
 """
 
 from __future__ import annotations
 
 import random
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable
 
 from repro.simnet.events import EventLoop, SimulationError
 from repro.simnet.latency import ConstantLatency, LatencyModel
-from repro.simnet.metrics import NetworkMetrics
+from repro.simnet.transport import Transport
 
 
 @dataclass
 class Message:
-    """One network message.
+    """One network message (the envelope of the actor boundary).
 
     ``kind`` tags the protocol step (``"route"``, ``"reply"``, ...);
     ``hops`` counts forwarding steps for the hop-count benchmarks; the
-    free-form ``payload`` dict carries protocol state.
+    free-form ``payload`` dict carries protocol state.  Payloads must
+    stay plain data (picklable) — a sharded transport ships them across
+    process boundaries.
     """
 
     kind: str
@@ -42,28 +51,34 @@ class Message:
 
 
 class Node:
-    """Base class for anything attached to a :class:`SimNetwork`.
+    """Base class for anything attached to a :class:`Transport`.
 
-    Subclasses override :meth:`on_message`.  The node gets back-refs to
-    the network and loop when attached, which keeps construction order
+    A node is an *actor*: it reaches the rest of the system only
+    through :meth:`send` envelopes, and receives deliveries through
+    handlers registered per message kind with :meth:`register_handler`.
+    Subclasses either register handlers (the normal protocol style) or
+    override :meth:`on_message` wholesale.  The node gets a back-ref to
+    the transport when attached, which keeps construction order
     flexible.
     """
 
     def __init__(self, node_id: str) -> None:
         self.node_id = node_id
-        self.network: "SimNetwork | None" = None
+        self.network: Transport | None = None
         self.online = True
+        #: message kind -> bound handler (see :meth:`register_handler`)
+        self._handlers: dict[str, Callable[[Message], None]] = {}
 
     @property
     def loop(self) -> EventLoop:
-        """The event loop of the attached network."""
+        """The event loop of the attached transport."""
         if self.network is None:
             raise SimulationError(f"node {self.node_id} is not attached")
         return self.network.loop
 
     def send(self, dst: str, kind: str, payload: dict | None = None,
              hops: int = 0) -> None:
-        """Send a message through the attached network."""
+        """Send a message through the attached transport."""
         if self.network is None:
             raise SimulationError(f"node {self.node_id} is not attached")
         self.network.send(Message(
@@ -74,13 +89,32 @@ class Node:
             hops=hops,
         ))
 
+    # -- delivery ------------------------------------------------------
+
+    def register_handler(self, kind: str,
+                         handler: Callable[[Message], None]) -> None:
+        """Route deliveries of ``kind`` to ``handler`` (last wins)."""
+        self._handlers[kind] = handler
+
+    def handled_kinds(self) -> frozenset[str]:
+        """The message kinds this node has handlers for."""
+        return frozenset(self._handlers)
+
     def on_message(self, message: Message) -> None:
-        """Handle a delivered message (override in subclasses)."""
-        raise NotImplementedError
+        """Dispatch a delivered message to its registered handler."""
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self.unhandled_message(message)
+        else:
+            handler(message)
+
+    def unhandled_message(self, message: Message) -> None:
+        """Called for deliveries with no registered handler."""
+        raise ValueError(f"unknown message kind {message.kind!r}")
 
 
-class SimNetwork:
-    """The simulated Internet layer.
+class SimNetwork(Transport):
+    """The simulated Internet layer (single shared event loop).
 
     Parameters
     ----------
@@ -100,81 +134,14 @@ class SimNetwork:
         latency: LatencyModel | None = None,
         rng: random.Random | None = None,
     ) -> None:
-        self.loop = loop if loop is not None else EventLoop()
+        super().__init__()
+        self._loop = loop if loop is not None else EventLoop()
         self.latency = latency if latency is not None else ConstantLatency()
         self.rng = rng if rng is not None else random.Random(0)
-        self.metrics = NetworkMetrics()
-        self._nodes: dict[str, Node] = {}
-        #: stack of active attribution scopes (see :meth:`operation`)
-        self._op_stack: list[str] = []
-        #: active fault injector, if any (see
-        #: :class:`repro.faultlab.injector.FaultInjector`).  ``None``
-        #: keeps :meth:`send` on the exact historical code path — with
-        #: no injector installed every simulation stays bit-identical.
-        self.fault_injector: Any | None = None
 
-    # -- per-operation attribution -------------------------------------
-
-    def current_operation(self) -> str | None:
-        """The attribution tag of the innermost active scope, if any."""
-        return self._op_stack[-1] if self._op_stack else None
-
-    @contextmanager
-    def operation(self, op_tag: str) -> Iterator[None]:
-        """Attribute messages sent inside this scope to ``op_tag``.
-
-        The tag sticks to the messages themselves, so the attribution
-        follows the *causal chain*: handling a tagged delivery re-opens
-        the scope, and any forwards, replies or replica pushes sent
-        from the handler inherit the tag.  Concurrent background
-        traffic (maintenance ticks, churn) runs outside any scope and
-        stays unattributed — this is what makes per-query message
-        counts exact under churn (see
-        :meth:`~repro.simnet.metrics.NetworkMetrics.begin_operation`).
-        """
-        self._op_stack.append(op_tag)
-        try:
-            yield
-        finally:
-            self._op_stack.pop()
-
-    # -- membership ----------------------------------------------------
-
-    def attach(self, node: Node) -> None:
-        """Register a node under its ``node_id``."""
-        if node.node_id in self._nodes:
-            raise SimulationError(f"duplicate node id {node.node_id!r}")
-        node.network = self
-        self._nodes[node.node_id] = node
-
-    def detach(self, node_id: str) -> None:
-        """Remove a node permanently (e.g. simulated departure)."""
-        node = self._nodes.pop(node_id, None)
-        if node is not None:
-            node.network = None
-
-    def node(self, node_id: str) -> Node:
-        """Look up an attached node by id."""
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise SimulationError(f"unknown node {node_id!r}") from None
-
-    def __contains__(self, node_id: str) -> bool:
-        return node_id in self._nodes
-
-    def node_ids(self) -> list[str]:
-        """Ids of all attached nodes (online or not)."""
-        return list(self._nodes)
-
-    def is_online(self, node_id: str) -> bool:
-        """Whether the node exists and is currently online."""
-        node = self._nodes.get(node_id)
-        return node is not None and node.online
-
-    def set_online(self, node_id: str, online: bool) -> None:
-        """Toggle a node's availability (simulated crash / recovery)."""
-        self.node(node_id).online = online
+    @property
+    def loop(self) -> EventLoop:
+        return self._loop
 
     # -- transport -----------------------------------------------------
 
@@ -185,7 +152,7 @@ class SimNetwork:
         drop is recorded so protocols under test can be audited for
         relying on silent success.
         """
-        message.sent_at = self.loop.now
+        message.sent_at = self._loop.now
         if message.op_tag is None:
             message.op_tag = self.current_operation()
         dst_node = self._nodes.get(message.dst)
@@ -210,7 +177,7 @@ class SimNetwork:
             # scheduled exactly as below.
             injector.dispatch(message, delay, self._deliver)
         else:
-            self.loop.schedule(delay, self._deliver, message)
+            self._loop.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
@@ -225,3 +192,9 @@ class SimNetwork:
                 node.on_message(message)
         else:
             node.on_message(message)
+
+
+#: The canonical transport-facing name for :class:`SimNetwork`: the
+#: single-event-loop transport, bit-identical to the pre-refactor
+#: simulator (see ``tests/test_transport_golden.py``).
+InProcessTransport = SimNetwork

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.util.keys import Key
+from repro.util.keys import Key, MemoCache
 
 #: Default number of bits in a data key.  Each printable-ASCII
 #: character consumes ~6.6 bits of an order-preserving key, so two
@@ -39,6 +39,28 @@ DEFAULT_KEY_BITS = 128
 _ALPHABET_LO = 0x20  # space
 _ALPHABET_HI = 0x7E  # tilde
 _ALPHABET_SIZE = _ALPHABET_HI - _ALPHABET_LO + 1
+
+#: memo for :func:`order_preserving_hash` — (value, bits) -> Key.
+#: Triple indexing hashes every subject/predicate/object string three
+#: ways and queries re-hash the same vocabulary terms constantly; at
+#: 10k-peer scale this is one of the hottest pure functions in the
+#: system (named in ROADMAP's hot-path list).
+HASH_CACHE = MemoCache(maxsize=1 << 16)
+
+#: memo for :func:`prefix_interval` — (prefix, bits) -> (low, high)
+PREFIX_INTERVAL_CACHE = MemoCache(maxsize=1 << 14)
+
+
+def hash_cache_stats() -> dict[str, dict[str, int]]:
+    """Counter snapshots for the hashing memo caches."""
+    return {"order_preserving_hash": HASH_CACHE.stats(),
+            "prefix_interval": PREFIX_INTERVAL_CACHE.stats()}
+
+
+def clear_hash_caches() -> None:
+    """Empty both memo caches (isolation hook for tests/benchmarks)."""
+    HASH_CACHE.clear()
+    PREFIX_INTERVAL_CACHE.clear()
 
 
 def _char_fraction(ch: str) -> float:
@@ -62,6 +84,12 @@ def order_preserving_hash(value: str, bits: int = DEFAULT_KEY_BITS) -> Key:
             implies
         order_preserving_hash(a) <= order_preserving_hash(b)
 
+    Results are memoized (:data:`HASH_CACHE`): the mediation layer
+    hashes the same subject / predicate / object strings for every
+    triple key, every query pattern and every covering-prefix lookup,
+    so the hot path is overwhelmingly repeat values.  :class:`Key` is
+    immutable, so returning the shared cached instance is safe.
+
     >>> a = order_preserving_hash("EMBL#Organism")
     >>> b = order_preserving_hash("EMP#SystematicName")
     >>> (a <= b) == ("EMBL#Organism" <= "EMP#SystematicName")
@@ -69,6 +97,10 @@ def order_preserving_hash(value: str, bits: int = DEFAULT_KEY_BITS) -> Key:
     """
     if bits <= 0:
         raise ValueError("bits must be positive")
+    cache_key = (value, bits)
+    cached = HASH_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     # Interpret the string as a fraction in [0, 1) with one "digit"
     # per character.  Work in exact integer arithmetic to avoid float
     # rounding breaking monotonicity for long common prefixes: compute
@@ -84,7 +116,9 @@ def order_preserving_hash(value: str, bits: int = DEFAULT_KEY_BITS) -> Key:
     scaled = (numerator << bits) // denominator if denominator else 0
     if scaled >= (1 << bits):  # defensive; cannot happen for code < size
         scaled = (1 << bits) - 1
-    return Key.from_int(scaled, bits)
+    result = Key.from_int(scaled, bits)
+    HASH_CACHE.put(cache_key, result)
+    return result
 
 
 def prefix_interval(value_prefix: str, bits: int = DEFAULT_KEY_BITS) -> tuple[Key, Key]:
@@ -108,9 +142,14 @@ def prefix_interval(value_prefix: str, bits: int = DEFAULT_KEY_BITS) -> tuple[Ke
     >>> low <= order_preserving_hash("Aspergillus") <= high
     True
     """
+    cache_key = (value_prefix, bits)
+    cached = PREFIX_INTERVAL_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     low = order_preserving_hash(value_prefix, bits)
     padded = value_prefix + chr(_ALPHABET_HI) * ((bits // 4) + 16)
     high = order_preserving_hash(padded, bits)
+    PREFIX_INTERVAL_CACHE.put(cache_key, (low, high))
     return low, high
 
 

@@ -9,7 +9,71 @@ ordered lexicographically (matching the trie order) and easy to debug.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
+
+
+class MemoCache:
+    """A bounded FIFO memo cache with hit/miss accounting.
+
+    Used to memoize the hot-path key derivations (value → binary key
+    hashing, interval → covering-prefix decomposition).  Cached values
+    must be immutable (or copied by the caller on hit) — entries are
+    shared between all call sites.
+
+    Eviction is deterministic: when full, the oldest *inserted* entry
+    is dropped (dict insertion order), so a seeded simulation makes the
+    same eviction decisions every run.  The ``hits`` / ``misses`` /
+    ``evictions`` counters let tests prove the cache actually serves
+    hits without changing behavior.
+
+    >>> cache = MemoCache(maxsize=2)
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a"), cache.get("zzz")
+    (1, None)
+    >>> cache.put("c", 3)  # evicts "a" (oldest)
+    >>> cache.get("a") is None, cache.stats()["evictions"]
+    (True, 1)
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int = 1 << 16) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: dict[Any, Any] = {}
+
+    def get(self, key: Any) -> Any:
+        """The cached value, or ``None`` on a miss (counted)."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert, evicting the oldest entry when at capacity."""
+        if len(self._data) >= self.maxsize:
+            self._data.pop(next(iter(self._data)))
+            self.evictions += 1
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (``hits`` / ``misses`` / ``evictions`` / ``size``)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._data)}
 
 
 class Key:
@@ -27,7 +91,10 @@ class Key:
     __slots__ = ("_bits",)
 
     def __init__(self, bits: str = "") -> None:
-        if any(b not in "01" for b in bits):
+        # str.strip("01") is a C-level scan; keys are rebuilt from
+        # message payloads on every routing hop, making this one of the
+        # hottest constructors in the system.
+        if bits.strip("01"):
             raise ValueError(f"key must be a binary string, got {bits!r}")
         self._bits = bits
 
@@ -142,6 +209,11 @@ class Key:
         return self._bits or "<root>"
 
 
+#: memo for :func:`covering_prefixes` — range queries decompose the
+#: same corpus intervals over and over (one per attribute vocabulary)
+_COVER_CACHE = MemoCache(maxsize=1 << 12)
+
+
 def covering_prefixes(low: Key, high: Key,
                       max_length: int | None = None) -> list[Key]:
     """Trie prefixes covering the key interval ``[low, high]``.
@@ -166,6 +238,10 @@ def covering_prefixes(low: Key, high: Key,
         raise ValueError("interval endpoints must have equal width")
     if low > high:
         raise ValueError("empty interval (low > high)")
+    cache_key = (low.bits, high.bits, max_length)
+    cached = _COVER_CACHE.get(cache_key)
+    if cached is not None:
+        return list(cached)  # callers may mutate their copy
     width = len(low)
     result: list[Key] = []
     stack: list[Key] = [Key("")]
@@ -185,6 +261,7 @@ def covering_prefixes(low: Key, high: Key,
         # out in ascending key order).
         stack.append(prefix.append("1"))
         stack.append(prefix.append("0"))
+    _COVER_CACHE.put(cache_key, tuple(result))
     return result
 
 
