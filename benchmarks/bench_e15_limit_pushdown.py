@@ -18,6 +18,7 @@ returning 10 correct rows.
 """
 
 from conftest import report, run_once
+from record import measure, record
 
 from repro import GridVineNetwork, Literal, Schema, Triple, URI
 
@@ -86,7 +87,20 @@ def test_e15_limit_pushdown(benchmark, scale):
                 series.append((seed, mode, unlimited, limited))
         return series
 
-    series = run_once(benchmark, run)
+    series, wall = measure(lambda: run_once(benchmark, run))
+    record("E15", scale=scale, totals={"wall_clock_s": round(wall, 3)},
+           runs=[
+               {
+                   "seed": seed,
+                   "mode": mode,
+                   "unlimited_messages": unlimited.messages,
+                   "limited_messages": limited.messages,
+                   "unlimited_rows": unlimited.result_count,
+                   "limited_rows": limited.result_count,
+                   "fetches_skipped": limited.fetches_skipped,
+               }
+               for seed, mode, unlimited, limited in series
+           ])
     report("E15", f"{len(seeds)} seeds, chain of {num_schemas} mapped "
                   f"schemas, {MATCHES_PER_SCHEMA} matching rows per "
                   f"schema, limit {LIMIT}")

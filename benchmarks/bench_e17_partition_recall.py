@@ -35,6 +35,7 @@ digest (the fault lab's synopsis-convergence invariant).
 import random
 
 from conftest import report, run_once
+from record import measure, record
 
 from repro.datagen.generator import BioDatasetGenerator
 from repro.faultlab import FaultInjector, FaultPlan, LabContext, Partition
@@ -186,7 +187,20 @@ def test_e17_partition_recall(benchmark, scale):
             series.append((seed, runs[True], runs[False]))
         return series
 
-    series = run_once(benchmark, run)
+    series, wall = measure(lambda: run_once(benchmark, run))
+    record("E17", scale=scale, totals={"wall_clock_s": round(wall, 3)},
+           runs=[
+               {
+                   "seed": seed,
+                   "anti_entropy": label == "anti-entropy",
+                   "recall": round(r["recall"], 6),
+                   "worst_query_recall": round(min(r["recalls"]), 6),
+                   "insert_rounds": r["insert_rounds"],
+                   "unplaced": r["unplaced"],
+               }
+               for seed, on, off in series
+               for label, r in (("anti-entropy", on), ("baseline", off))
+           ])
     report("E17", f"{len(seeds)} seeds, symmetric partition "
                   f"[{PARTITION_START:.0f}s..{PARTITION_HEAL:.0f}s) "
                   f"splitting every replica group; wave-2 inserts "

@@ -1,0 +1,123 @@
+"""Profile one E-experiment's workload: where do the cycles go?
+
+Runs a benchmark module's test function outside pytest — the
+pytest-benchmark timer is replaced by a stub that executes the
+workload exactly once — under the shared cProfile harness
+(:mod:`repro.util.profiling`), and prints the top-N functions.  The
+same harness backs the CLI's ``--profile`` flag, so a bench profile
+and a ``python -m repro query --profile`` run are directly
+comparable.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/profile.py E13
+    PYTHONPATH=src python benchmarks/profile.py E15 --sort tottime --top 30
+    PYTHONPATH=src python benchmarks/profile.py E18 --scale full
+
+Baselines written during a profiled run land in ``benchmarks/out/``
+like any other uncommitted run (see :mod:`record`); profiling never
+touches the committed BENCH files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+
+# This filename shadows the stdlib ``profile`` module that cProfile
+# imports.  Searching this directory *last* lets ``import profile``
+# resolve to the stdlib while the bench modules (which exist nowhere
+# else) still import fine.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if sys.path and os.path.abspath(sys.path[0]) == _HERE:
+    sys.path.append(sys.path.pop(0))
+
+from repro.util.profiling import (  # noqa: E402
+    DEFAULT_TOP,
+    SORT_KEYS,
+    profile_call,
+)
+
+#: experiment id -> benchmark module (import name, benchmarks/ dir)
+EXPERIMENTS = {
+    "E1": "bench_e1_reformulation",
+    "E2": "bench_e2_latency_cdf",
+    "E3": "bench_e3_connectivity",
+    "E4": "bench_e4_recall_growth",
+    "E5": "bench_e5_deprecation",
+    "E6": "bench_e6_routing_scaling",
+    "E7": "bench_e7_index_fanout",
+    "E8": "bench_e8_strategies",
+    "E9": "bench_e9_matcher",
+    "E10": "bench_e10_construction",
+    "E11": "bench_e11_range_queries",
+    "E12": "bench_e12_join_modes",
+    "E13": "bench_e13_plan_cache",
+    "E14": "bench_e14_churn_recall",
+    "E15": "bench_e15_limit_pushdown",
+    "E16": "bench_e16_optimizer",
+    "E17": "bench_e17_partition_recall",
+    "E18": "bench_e18_scaleout",
+}
+
+
+class _OnceBenchmark:
+    """pytest-benchmark stand-in: runs the workload exactly once."""
+
+    def pedantic(self, fn, args=(), kwargs=None, **_timer_options):
+        return fn(*args, **(kwargs or {}))
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+
+def find_test(module) -> object:
+    """The single ``test_*`` callable of a benchmark module."""
+    tests = [getattr(module, name) for name in dir(module)
+             if name.startswith("test_")]
+    if len(tests) != 1:
+        raise SystemExit(f"{module.__name__} defines {len(tests)} "
+                         f"test functions, expected exactly 1")
+    return tests[0]
+
+
+def profile_experiment(experiment: str, *, scale: str,
+                       top: int = DEFAULT_TOP,
+                       sort: str = "cumulative") -> str:
+    """Run one experiment under cProfile; returns the report text."""
+    module = importlib.import_module(EXPERIMENTS[experiment])
+    test = find_test(module)
+    _result, report = profile_call(
+        lambda: test(_OnceBenchmark(), scale), top=top, sort=sort)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Profile one E-experiment workload (top-N hot "
+                    "functions)")
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS,
+                        key=lambda e: int(e[1:])),
+                        help="which benchmark to run under cProfile")
+    parser.add_argument("--scale", default="quick",
+                        choices=["quick", "full"],
+                        help="workload scale (default: quick)")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP,
+                        help=f"rows to print (default: {DEFAULT_TOP})")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=list(SORT_KEYS),
+                        help="pstats sort order (default: cumulative)")
+    options = parser.parse_args(argv)
+    print(f"profiling {options.experiment} "
+          f"({EXPERIMENTS[options.experiment]}, scale "
+          f"{options.scale}) ...")
+    report = profile_experiment(options.experiment, scale=options.scale,
+                                top=options.top, sort=options.sort)
+    print(report.rstrip())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,19 @@
-"""Benchmark baseline recorder: committed ``BENCH_<exp>.json`` files.
+"""Benchmark baseline recorder: ``BENCH_<exp>.json`` files.
 
 Each experiment bench calls :func:`record` once with its headline
 numbers — wall time, message counts, result rows, peak RSS, one entry
-per seed/configuration — and the recorder writes them next to the
-bench sources as ``BENCH_<exp>.json``.  The files are committed, so a
-future PR can diff its own run against the baseline the previous PR
-shipped (CI additionally uploads them as artifacts from the
-``scale-smoke`` job).
+per seed/configuration.  Fresh runs land in ``benchmarks/out/``
+(gitignored): running ``pytest benchmarks/`` never touches the
+*committed* baselines sitting next to the bench sources.  The
+committed ``benchmarks/BENCH_<exp>.json`` files are only rewritten
+when ``REPRO_BENCH_WRITE_BASELINE=1`` is set — the deliberate "ship a
+new baseline" step of a perf PR.
+
+``benchmarks/perf_gate.py`` diffs a fresh ``out/`` run against the
+committed files: count fields must match exactly, wall-clock within a
+tolerance band (see the module docstring there).  CI runs the gate on
+every push; the committed files are also uploaded as artifacts from
+the ``scale-smoke`` job.
 
 The JSON is deliberately timestamp-free: re-running an unchanged bench
 on comparable hardware produces a file whose *structure* diffs clean,
@@ -22,8 +29,20 @@ import resource
 import time
 from typing import Any, Callable
 
-#: where BENCH_<exp>.json files live (next to the bench sources)
+#: where the *committed* BENCH_<exp>.json baselines live (next to the
+#: bench sources)
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: where fresh (uncommitted) runs are written by default
+OUT_DIR = os.path.join(BENCH_DIR, "out")
+
+
+def record_dir() -> str:
+    """Where :func:`record` writes: ``benchmarks/out/`` normally, the
+    committed baseline directory when ``REPRO_BENCH_WRITE_BASELINE=1``."""
+    if os.environ.get("REPRO_BENCH_WRITE_BASELINE") == "1":
+        return BENCH_DIR
+    return OUT_DIR
 
 
 def peak_rss_kb() -> int:
@@ -47,6 +66,11 @@ def record(experiment: str, *, scale: str, runs: list[dict],
     least a label plus its wall time / message count / row count);
     ``totals`` merges experiment-level headline numbers into the top
     level.  Peak RSS and the python version are stamped automatically.
+
+    Without an explicit ``directory`` the file goes to
+    :func:`record_dir` — the gitignored ``benchmarks/out/`` unless the
+    ``REPRO_BENCH_WRITE_BASELINE=1`` escape hatch redirects it onto
+    the committed baselines.
     """
     payload: dict[str, Any] = {
         "experiment": experiment,
@@ -57,8 +81,9 @@ def record(experiment: str, *, scale: str, runs: list[dict],
     if totals:
         payload.update(totals)
     payload["runs"] = runs
-    path = os.path.join(directory or BENCH_DIR,
-                        f"BENCH_{experiment}.json")
+    target = directory or record_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, f"BENCH_{experiment}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

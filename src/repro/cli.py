@@ -461,6 +461,14 @@ def cmd_experiments(_args) -> int:
     return 0
 
 
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and "
+                             "print the top-20 functions by "
+                             "cumulative time (the same harness as "
+                             "benchmarks/profile.py)")
+
+
 def _add_deploy_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--peers", type=int, default=100)
     parser.add_argument("--schemas", type=int, default=10)
@@ -504,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="virtual seconds of maintenance gossip "
                             "before an --strategy auto query")
     _add_deploy_args(query)
+    _add_profile_arg(query)
     query.set_defaults(func=cmd_query)
 
     batch = sub.add_parser(
@@ -516,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-hops", type=int, default=8,
                        help="reformulation planning depth")
     _add_deploy_args(batch)
+    _add_profile_arg(batch)
     batch.set_defaults(func=cmd_batch)
 
     scenario = sub.add_parser(
@@ -546,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-failover", action="store_true",
                           help="disable replica-aware failover (A/B "
                                "baseline)")
+    _add_profile_arg(scenario)
     scenario.set_defaults(func=cmd_scenario)
 
     stats = sub.add_parser(
@@ -645,6 +656,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        from repro.util.profiling import print_profile, profile_call
+
+        status, profile_report = profile_call(lambda: args.func(args))
+        print_profile(profile_report)
+        return status
     return args.func(args)
 
 

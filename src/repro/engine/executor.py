@@ -37,7 +37,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.signature import canonicalize_pattern
-from repro.exec.bindings import remap_bindings
 from repro.exec.operators import (
     Collect,
     Dedup,
@@ -47,7 +46,7 @@ from repro.exec.operators import (
     Project,
     Union,
 )
-from repro.exec.stream import Batch, PipelineContext
+from repro.exec.stream import PipelineContext
 from repro.mediation.peer import GridVinePeer
 from repro.mediation.query import QueryOutcome
 from repro.rdf.patterns import ConjunctiveQuery
@@ -249,9 +248,9 @@ def execute_batch(
             scans[scan_index].connect(
                 join,
                 transform=(None if not inverse else (
-                    lambda batch, inverse=inverse: Batch(
-                        remap_bindings(batch.rows, inverse),
-                        batch.source)
+                    # One schema remap per batch; the columns are
+                    # shared, not copied.
+                    lambda batch, inverse=inverse: batch.renamed(inverse)
                 )),
             )
         project = Project(reformulation.query)

@@ -31,6 +31,11 @@ _CANONICAL_PREFIX = "_c"
 #: variable -> variable substitution
 Renaming = dict[Variable, Variable]
 
+#: memo for :func:`canonicalize_pattern`
+#: (pattern -> (canonical pattern, inverse renaming))
+_CANON_CACHE: dict[TriplePattern, tuple[TriplePattern, Renaming]] = {}
+_CANON_CACHE_MAX = 1 << 12
+
 
 def _rename_term(term: Term, renaming: Renaming) -> Term:
     if isinstance(term, Variable):
@@ -95,12 +100,28 @@ def canonicalize_pattern(
     Used by the batch executor to recognize that two patterns from
     different queries (or different reformulations) ask the overlay the
     same question, so one lookup can serve both.
+
+    Memoized on the (immutable, hashable) input pattern: the workload's
+    pattern vocabulary is small and recurs across batch executions, and
+    sharing one canonical instance per equivalence class lets its
+    lazily-compiled matcher and cached hash amortize across queries.
+    The cache is cleared wholesale at its bound, like the key intern
+    table.
     """
-    forward: Renaming = {}
-    for pos in ALL_POSITIONS:
-        term = pattern.at(pos)
-        if isinstance(term, Variable) and term not in forward:
-            forward[term] = Variable(f"{_CANONICAL_PREFIX}{len(forward)}")
-    inverse = {canonical: original
-               for original, canonical in forward.items()}
-    return rename_pattern(pattern, forward), inverse
+    cached = _CANON_CACHE.get(pattern)
+    if cached is None:
+        forward: Renaming = {}
+        for pos in ALL_POSITIONS:
+            term = pattern.at(pos)
+            if isinstance(term, Variable) and term not in forward:
+                forward[term] = Variable(
+                    f"{_CANONICAL_PREFIX}{len(forward)}")
+        inverse = {canonical: original
+                   for original, canonical in forward.items()}
+        if len(_CANON_CACHE) >= _CANON_CACHE_MAX:
+            _CANON_CACHE.clear()
+        cached = _CANON_CACHE[pattern] = (
+            rename_pattern(pattern, forward), inverse)
+    # The inverse renaming is read-only at every consumer (the batch
+    # executor closes over it for batch renames); return it shared.
+    return cached

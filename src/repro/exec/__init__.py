@@ -38,6 +38,8 @@ from repro.exec.bindings import (
     binding_key,
     dedup_bindings,
     hash_join_bindings,
+    join_batches,
+    pattern_schema,
     remap_bindings,
     restore_variables,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "dedup_bindings",
     "execute_query_rows",
     "hash_join_bindings",
+    "join_batches",
+    "pattern_schema",
     "remap_bindings",
     "restore_variables",
     "run_query_plan",

@@ -19,12 +19,21 @@ they live here once:
   that replaces the nested-loop :func:`~repro.rdf.patterns.
   join_bindings` on the hot path (same join semantics, O(n + m)
   instead of O(n * m) for equi-joins on shared variables).
+
+Since the columnar batch rewrite the operator runtime moves data as
+:class:`~repro.exec.stream.Batch` objects; :func:`pattern_schema` and
+:func:`join_batches` are the columnar counterparts of the dict-row
+helpers.  The dict-row functions stay as the *reference
+implementation*: the Hypothesis property suite in
+``tests/strategies/`` checks the columnar operators against them, and
+:func:`hash_join_bindings` still serves heterogeneous inputs.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.exec.stream import Batch
 from repro.rdf.patterns import TriplePattern, join_bindings
 from repro.rdf.terms import GroundTerm, Variable
 from repro.rdf.triples import ALL_POSITIONS
@@ -144,3 +153,62 @@ def hash_join_bindings(
             merged.update(rb)
             joined.append(merged)
     return joined
+
+
+def pattern_schema(pattern: TriplePattern) -> tuple[Variable, ...]:
+    """The batch schema a scan of ``pattern`` produces.
+
+    Unique variables in subject, predicate, object order — exactly the
+    insertion order of the binding dicts
+    :meth:`~repro.rdf.patterns.TriplePattern.matches` builds, so
+    columnar and dict-row scans agree on column order.
+    """
+    out: list[Variable] = []
+    for pos in ALL_POSITIONS:
+        term = pattern.at(pos)
+        if isinstance(term, Variable) and term not in out:
+            out.append(term)
+    return tuple(out)
+
+
+def join_batches(left: Batch, right: Batch) -> Batch:
+    """Natural join of two columnar batches.
+
+    The columnar counterpart of :func:`hash_join_bindings`, and
+    row-for-row order-identical to it: shared variables are compared
+    in sorted-by-name order, the hash table is built over the right
+    side in arrival order, and output rows stream left-outer (each
+    left row against its bucket in bucket order).  The output schema
+    is the left schema followed by the right-only variables — the
+    merge order of ``dict(lb); merged.update(rb)``.
+
+    The unit relation (``schema == ()``, one row) is the join
+    identity, so executors seed folds with ``Batch((), count=1)``.
+    """
+    lschema, rschema = left.schema, right.schema
+    lset = set(lschema)
+    out_schema = lschema + tuple(v for v in rschema if v not in lset)
+    if not left.count or not right.count:
+        return Batch(out_schema, tuples=[])
+    shared = sorted(lset & set(rschema), key=lambda v: v.value)
+    ltuples, rtuples = left.tuples(), right.tuples()
+    out: list[tuple]
+    if not shared:
+        # Cross product, left-outer order (matches ``join_bindings``).
+        out = [lt + rt for lt in ltuples for rt in rtuples]
+        return Batch(out_schema, tuples=out)
+    l_idx = [lschema.index(v) for v in shared]
+    r_idx = [rschema.index(v) for v in shared]
+    r_keep = [i for i, v in enumerate(rschema) if v not in lset]
+    buckets: dict[tuple, list] = {}
+    for rt in rtuples:
+        buckets.setdefault(tuple(rt[i] for i in r_idx), []).append(
+            tuple(rt[i] for i in r_keep))
+    out = []
+    get = buckets.get
+    for lt in ltuples:
+        bucket = get(tuple(lt[i] for i in l_idx))
+        if bucket:
+            for tail in bucket:
+                out.append(lt + tail)
+    return Batch(out_schema, tuples=out)

@@ -23,15 +23,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.exec.bindings import (
-    dedup_bindings,
-    hash_join_bindings,
-    restore_variables,
-)
+from repro.exec.bindings import join_batches, pattern_schema
 from repro.exec.stream import Batch, Operator, PipelineContext
 from repro.mapping.unfolding import query_schemas, translate_query
 from repro.rdf.patterns import ConjunctiveQuery, TriplePattern
-from repro.rdf.triples import Position
+from repro.rdf.terms import Variable
+from repro.rdf.triples import ALL_POSITIONS, Position
 from repro.simnet.events import Future, gather
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -73,7 +70,10 @@ class PatternScan(Operator):
             self._on_rows)
 
     def _on_rows(self, future: Future) -> None:
-        self.emit(future.result())
+        # The overlay's wire format stays binding dicts; the scan is
+        # the columnar boundary — one conversion per fetched batch.
+        self.emit(Batch.from_bindings(future.result(),
+                                      schema=pattern_schema(self.pattern)))
         self.close()
 
     def skip(self) -> None:
@@ -84,28 +84,49 @@ class PatternScan(Operator):
         self.close()
 
 
+def _concat_batches(batches: list[Batch]) -> Batch:
+    """One batch holding every row of ``batches``, in arrival order.
+
+    Every batch of a slot comes from the same upstream operator, so
+    their schemas agree; a mismatch would mean a mis-wired plan.
+    """
+    if not batches:
+        return Batch((), tuples=[])
+    if len(batches) == 1:
+        return batches[0]
+    schema = batches[0].schema
+    if any(b.schema != schema for b in batches[1:]):
+        raise ValueError("slot received batches with differing schemas")
+    tuples: list[tuple] = []
+    for b in batches:
+        tuples.extend(b.tuples())
+    return Batch(schema, tuples=tuples)
+
+
 class HashJoin(Operator):
     """N-ary natural join at the origin (the paper's parallel mode).
 
-    Buffers each input slot's bindings and, once every input has
+    Buffers each input slot's batches and, once every input has
     closed, folds them left to right with
-    :func:`~repro.exec.bindings.hash_join_bindings` — slot order is
-    connect order, i.e. the query's pattern order.
+    :func:`~repro.exec.bindings.join_batches` — slot order is connect
+    order, i.e. the query's pattern order.  The fold seeds with the
+    unit relation, keying each step on precomputed column indices of
+    the shared variables.
     """
 
     def __init__(self, name: str = "hash-join") -> None:
         super().__init__(name)
-        self._rows_by_slot: dict[int, list[dict]] = {}
+        self._batches_by_slot: dict[int, list[Batch]] = {}
 
     def on_batch(self, batch: Batch, slot: int) -> None:
-        self._rows_by_slot.setdefault(slot, []).extend(batch.rows)
+        self._batches_by_slot.setdefault(slot, []).append(batch)
 
     def on_finish(self) -> None:
-        joined: list[dict] = [{}]
+        joined = Batch((), count=1)  # the join identity
         for slot in range(self._input_slots):
-            joined = hash_join_bindings(
-                joined, self._rows_by_slot.get(slot, []))
-            if not joined:
+            joined = join_batches(
+                joined, _concat_batches(self._batches_by_slot.get(slot, [])))
+            if not joined.count:
                 break
         self.emit(joined)
 
@@ -136,12 +157,12 @@ class BoundJoin(Operator):
 
     def start(self, ctx: PipelineContext) -> None:
         self._ctx = ctx
-        self._step(0, [{}])
+        self._step(0, Batch((), count=1))
 
-    def _step(self, index: int, joined: list[dict]) -> None:
+    def _step(self, index: int, joined: Batch) -> None:
         ctx = self._ctx
         assert ctx is not None
-        if index == len(self.ordered) or not joined:
+        if index == len(self.ordered) or not joined.count:
             self.emit(joined)
             self.close()
             return
@@ -152,34 +173,58 @@ class BoundJoin(Operator):
             # substitution of the current bindings (capped), so count
             # skips at that scale to keep the saved-messages estimate
             # in the same units as fetches_issued.
-            per_step = max(1, min(len(joined), self.fanout_cap))
+            per_step = max(1, min(joined.count, self.fanout_cap))
             self.stats.fetches_skipped += (
                 per_step * (len(self.ordered) - index))
-            self.emit([])
+            self.emit(Batch(joined.schema, tuples=[]))
             self.close()
             return
         pattern = self.ordered[index]
+        # Distinct substituted variants, keyed on the columns the
+        # pattern actually reads (first-occurrence order — the same
+        # variant set and order the per-row substitution produced).
+        pvars = pattern.variables()
+        schema = joined.schema
+        rel_idx = [i for i, v in enumerate(schema) if v in pvars]
         variants: list[TriplePattern] = []
-        seen_variants: set[TriplePattern] = set()
-        for bindings in joined:
-            variant = pattern.substitute(bindings)
-            if variant not in seen_variants:
-                seen_variants.add(variant)
-                variants.append(variant)
+        seen_variants: set[tuple] = set()
+        for row in joined.tuples():
+            key = tuple(row[i] for i in rel_idx)
+            if key not in seen_variants:
+                seen_variants.add(key)
+                variants.append(pattern.substitute(
+                    {schema[i]: row[i] for i in rel_idx}))
         if (len(variants) > self.fanout_cap
                 or any(not v.variables() for v in variants)):
             # Too many variants (or fully ground ones, whose empty
             # binding dicts would not join back): fetch unbound.
             variants = [pattern]
 
+        fetch_schema = pattern_schema(pattern)
+
         def _on_fetched(future: Future) -> None:
-            fetched: list[dict] = []
+            # Restore the variables each substitution erased (their
+            # ground values are read off the variant once per variant,
+            # not once per row), dedup across variants by value tuple,
+            # and join columnar.
+            fetched: list[tuple] = []
             seen_keys: set[tuple] = set()
             for bindings_list, variant in zip(future.result(), variants):
-                restored = [restore_variables(pattern, variant, b)
-                            for b in bindings_list]
-                fetched.extend(dedup_bindings(restored, seen_keys))
-            self._step(index + 1, hash_join_bindings(joined, fetched))
+                restored: dict = {}
+                for pos in ALL_POSITIONS:
+                    term = pattern.at(pos)
+                    variant_term = variant.at(pos)
+                    if (isinstance(term, Variable)
+                            and not isinstance(variant_term, Variable)):
+                        restored[term] = variant_term
+                for b in bindings_list:
+                    row = tuple(restored[v] if v in restored else b[v]
+                                for v in fetch_schema)
+                    if row not in seen_keys:
+                        seen_keys.add(row)
+                        fetched.append(row)
+            self._step(index + 1, join_batches(
+                joined, Batch(fetch_schema, tuples=fetched)))
 
         gather([ctx.fetch_pattern(self, v) for v in variants]
                ).add_done_callback(_on_fetched)
@@ -193,10 +238,14 @@ class Union(Operator):
 
 
 class Project(Operator):
-    """Project binding dicts onto the query's distinguished variables.
+    """Slice out the columns of the query's distinguished variables.
 
-    Emitted rows are tagged with the producing query — the provenance
-    :class:`Collect` uses for per-reformulation result attribution.
+    Column selection, not per-row dict rebuilds: the batch's schema is
+    checked once, and the distinguished columns are re-bundled in
+    projection order (rows of a batch missing a distinguished variable
+    all miss it — schemas are batch-level).  Emitted batches are
+    tagged with the producing query — the provenance :class:`Collect`
+    uses for per-reformulation result attribution.
     """
 
     def __init__(self, query: ConjunctiveQuery) -> None:
@@ -205,11 +254,17 @@ class Project(Operator):
 
     def on_batch(self, batch: Batch, slot: int) -> None:
         query = self.query
-        rows = [
-            query.project(b) for b in batch.rows
-            if all(v in b for v in query.distinguished)
-        ]
-        self.emit(rows, source=query)
+        distinguished = query.distinguished
+        schema = batch.schema
+        if batch.count and all(v in schema for v in distinguished):
+            columns = batch.columns()
+            out = Batch(distinguished,
+                        columns=tuple(columns[schema.index(v)]
+                                      for v in distinguished),
+                        count=batch.count, source=query)
+        else:
+            out = Batch(distinguished, tuples=[], source=query)
+        self.emit(out)
 
 
 class Dedup(Operator):
@@ -220,12 +275,13 @@ class Dedup(Operator):
         self.seen: set = set()
 
     def on_batch(self, batch: Batch, slot: int) -> None:
+        seen = self.seen
         fresh = []
-        for row in batch.rows:
-            if row not in self.seen:
-                self.seen.add(row)
+        for row in batch.tuples():
+            if row not in seen:
+                seen.add(row)
                 fresh.append(row)
-        self.emit(fresh, batch.source)
+        self.emit(Batch(batch.schema, tuples=fresh, source=batch.source))
 
 
 class Limit(Operator):
@@ -254,23 +310,24 @@ class Limit(Operator):
 
     def on_batch(self, batch: Batch, slot: int) -> None:
         if self.limit is None:
-            self.emit(batch.rows, batch.source)
+            self.emit(batch)
             return
         if self.satisfied:
-            self.stats.rows_dropped += len(batch.rows)
-            self.late_rows += len(batch.rows)
+            self.stats.rows_dropped += batch.count
+            self.late_rows += batch.count
             return
         allowed: list = []
-        for position, row in enumerate(batch.rows):
+        rows = batch.tuples()
+        for position, row in enumerate(rows):
             if row in self.seen:
                 allowed.append(row)
                 continue
             if len(self.seen) >= self.limit:
-                self.stats.rows_dropped += len(batch.rows) - position
+                self.stats.rows_dropped += len(rows) - position
                 break
             self.seen.add(row)
             allowed.append(row)
-        self.emit(allowed, batch.source)
+        self.emit(Batch(batch.schema, tuples=allowed, source=batch.source))
         if len(self.seen) >= self.limit and not self.satisfied:
             self.satisfied = True
             if self.on_satisfied is not None:
@@ -300,17 +357,17 @@ class Collect(Operator):
     def on_batch(self, batch: Batch, slot: int) -> None:
         if self.future.done:
             # Late arrivals after an early (limit-driven) resolution.
-            self.stats.rows_dropped += len(batch.rows)
+            self.stats.rows_dropped += batch.count
             if self.outcome is not None:
-                self.outcome.rows_after_cancel += len(batch.rows)
+                self.outcome.rows_after_cancel += batch.count
             return
-        if batch.rows and self.first_rows_at is None:
+        if batch.count and self.first_rows_at is None:
             self.first_rows_at = self.ctx.now
         if self.outcome is not None:
             self.outcome.record(batch.source or self.outcome.query,
-                                set(batch.rows))
+                                set(batch.tuples()))
         else:
-            self.rows |= set(batch.rows)
+            self.rows |= set(batch.tuples())
 
     def on_finish(self) -> None:
         self.resolve()
@@ -510,7 +567,8 @@ class RecursiveFanout(Operator):
         self.results_received.add(request_id)
         # Sorted for determinism: set iteration order is not stable
         # across processes, and a downstream Limit truncates batches.
-        self.emit(sorted(rows), source=query)
+        self.emit(Batch.from_tuples(query.distinguished, sorted(rows),
+                                    source=query))
         self._check_done()
 
     def _check_done(self) -> None:

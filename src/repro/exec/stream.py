@@ -15,7 +15,8 @@ Mechanics
 
 * An operator *emits* batches to its downstream edges; an edge may
   carry a ``transform`` (e.g. re-expressing a shared scan's canonical
-  bindings in the consumer's variables).
+  bindings in the consumer's variables — with columnar batches that is
+  one :meth:`Batch.renamed` schema remap, not a per-row rewrite).
 * Each edge occupies a distinct input *slot* on the downstream
   operator, so the same upstream may legally feed one consumer twice
   (a reformulation using the same canonical pattern in two positions).
@@ -81,21 +82,109 @@ class OperatorStats:
 
 
 class Batch:
-    """One unit of streamed data: rows plus their provenance.
+    """One columnar unit of streamed data: a schema plus value columns.
 
-    ``rows`` is a list of binding dicts (upstream of ``Project``) or
-    projected result tuples (downstream of it).  ``source`` is the
+    A batch carries its variable schema *once* — ``schema`` is a tuple
+    of :class:`~repro.rdf.terms.Variable` — and the values either as
+    parallel columns (one list per schema variable) or as row tuples
+    (one value per schema position).  Both representations are
+    materialized lazily and cached, so a ``Project`` is column slicing,
+    a ``Dedup`` is tuple-set membership, and renaming an edge's
+    variables (:meth:`renamed`) is one schema remap per batch instead
+    of a dict copy per row.
+
+    ``count`` is the number of rows; it is explicit because the
+    zero-variable relation (``schema == ()``) still distinguishes the
+    empty result from the unit row ``()``.  ``source`` is the
     (original or reformulated) query that produced the rows — the
     attribution key for :attr:`~repro.mediation.query.QueryOutcome.
     results_by_query`.
     """
 
-    __slots__ = ("rows", "source")
+    __slots__ = ("schema", "source", "count", "_columns", "_tuples")
 
-    def __init__(self, rows: list, source: "ConjunctiveQuery | None" = None
-                 ) -> None:
-        self.rows = rows
+    def __init__(self, schema: tuple = (), *,
+                 columns: tuple | None = None,
+                 tuples: list | None = None,
+                 count: int | None = None,
+                 source: "ConjunctiveQuery | None" = None) -> None:
+        self.schema = schema
         self.source = source
+        self._columns = columns
+        self._tuples = tuples
+        if count is not None:
+            self.count = count
+        elif tuples is not None:
+            self.count = len(tuples)
+        elif columns is not None and columns:
+            self.count = len(columns[0])
+        else:
+            self.count = 0
+
+    @classmethod
+    def from_bindings(cls, rows: list, schema: tuple | None = None,
+                      source: "ConjunctiveQuery | None" = None) -> "Batch":
+        """Build a batch from homogeneous binding dicts.
+
+        ``schema`` defaults to the first row's insertion order; every
+        row must bind exactly the schema's variables.
+        """
+        if schema is None:
+            schema = tuple(rows[0]) if rows else ()
+        if not schema:
+            return cls((), tuples=[() for _ in rows], source=source)
+        tuples = [tuple(row[v] for v in schema) for row in rows]
+        return cls(schema, tuples=tuples, source=source)
+
+    @classmethod
+    def from_tuples(cls, schema: tuple, tuples: list,
+                    source: "ConjunctiveQuery | None" = None) -> "Batch":
+        """Build a batch from row tuples in ``schema`` position order."""
+        return cls(schema, tuples=tuples, source=source)
+
+    def tuples(self) -> list:
+        """Row-major view (cached): one value tuple per row."""
+        tuples = self._tuples
+        if tuples is None:
+            if self._columns:
+                tuples = list(zip(*self._columns))
+            else:
+                tuples = [()] * self.count
+            self._tuples = tuples
+        return tuples
+
+    def columns(self) -> tuple:
+        """Column-major view (cached): one value list per variable."""
+        columns = self._columns
+        if columns is None:
+            if self._tuples and self.schema:
+                columns = tuple(map(list, zip(*self._tuples)))
+            else:
+                columns = tuple([] for _ in self.schema)
+            self._columns = columns
+        return columns
+
+    def column(self, variable) -> list:
+        """The value column of one schema variable."""
+        return self.columns()[self.schema.index(variable)]
+
+    def to_bindings(self) -> list:
+        """Per-row binding dicts (compatibility / reference view)."""
+        schema = self.schema
+        return [dict(zip(schema, row)) for row in self.tuples()]
+
+    def renamed(self, renaming: dict) -> "Batch":
+        """A view of this batch with schema variables renamed.
+
+        Shares the underlying columns/tuples — the whole point: an
+        edge transform costs one tuple rebuild of the schema, not a
+        dict copy per row.
+        """
+        if not renaming:
+            return self
+        schema = tuple(renaming.get(v, v) for v in self.schema)
+        return Batch(schema, columns=self._columns, tuples=self._tuples,
+                     count=self.count, source=self.source)
 
 
 class Operator:
@@ -147,14 +236,12 @@ class Operator:
 
     # -- data flow ------------------------------------------------------
 
-    def emit(self, rows: list, source: "ConjunctiveQuery | None" = None
-             ) -> None:
+    def emit(self, batch: Batch) -> None:
         """Push one batch to every downstream edge."""
         if self._closed:
             return
-        self.stats.rows_out += len(rows)
+        self.stats.rows_out += batch.count
         self.stats.batches_out += 1
-        batch = Batch(rows, source)
         for downstream, transform, slot in self._edges:
             downstream._receive(
                 batch if transform is None else transform(batch), slot
@@ -162,9 +249,9 @@ class Operator:
 
     def _receive(self, batch: Batch, slot: int) -> None:
         if self._closed:
-            self.stats.rows_dropped += len(batch.rows)
+            self.stats.rows_dropped += batch.count
             return
-        self.stats.rows_in += len(batch.rows)
+        self.stats.rows_in += batch.count
         self.on_batch(batch, slot)
 
     def close(self) -> None:
@@ -197,7 +284,7 @@ class Operator:
 
     def on_batch(self, batch: Batch, slot: int) -> None:
         """Handle one incoming batch (default: pass through)."""
-        self.emit(batch.rows, batch.source)
+        self.emit(batch)
 
     def on_input_closed(self, slot: int) -> None:
         """React to one input stream ending (default: nothing)."""

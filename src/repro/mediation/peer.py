@@ -541,7 +541,7 @@ class GridVinePeer(PGridPeer):
         return super()._execute_op(op, key, value)
 
     def _complete(self, payload: dict, hops_override: int | None = None) -> None:
-        if str(payload.get("op_id", "")).startswith("refo!"):
+        if payload["op_id"].startswith("refo!"):
             self._on_refo_report(payload)
             return
         super()._complete(payload, hops_override)
@@ -551,6 +551,14 @@ class GridVinePeer(PGridPeer):
     # ------------------------------------------------------------------
 
     def local_insert(self, key: Key, value: Any) -> None:
+        if type(value) is TripleRecord:
+            # Hot path: triple inserts dominate every deployment build
+            # (three overlay keys per triple), so dispatch them before
+            # the full record-type chain.  Subclassed records still
+            # take the generic path below.
+            self.store.setdefault(key._bits, []).append(value)
+            self.db.add(value.triple)
+            return
         if isinstance(value, ConnectivityRecord):
             # Last-writer-wins per schema: drop stale records so the
             # domain key space holds exactly one record per schema.

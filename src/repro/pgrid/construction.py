@@ -150,29 +150,67 @@ def build_routing_tables(
     that diverges from ``pi(p)`` at level ``i``, which is what makes
     greedy prefix routing terminate in at most ``|pi(p)|`` hops.
 
-    The candidate scan is quadratic in peer count; for 10k+ peer
+    Exhaustive over all eligible candidates per level; for 10k+ peer
     deployments use :func:`sample_routing_tables` instead (statistically
-    equivalent tables, near-linear construction).
+    equivalent tables, cheaper construction).
     """
     rng = rng if rng is not None else random.Random(0)
-    by_path: list[tuple[Key, str]] = [
-        (path, node_id) for node_id, path in assignment.items()
-    ]
+    # A node's own path diverges from its complement prefix at the
+    # complement's last bit, so a node never covers its own complement
+    # (nor do its replicas): the eligible-candidate list depends only
+    # on the complement, not on the asking node.  Compute each list
+    # once, in assignment order, instead of scanning all peers per
+    # (node, level) — the per-node shuffle below consumes the rng
+    # exactly as the historical quadratic scan did.
+    #
+    # The covering peers of a complement ``c`` split into the subtree
+    # below ``c`` (paths extending ``c``) and the ancestors of ``c``
+    # (paths that are proper prefixes of it); indexing every node
+    # under each prefix of its path answers both by dict lookup.
+    # Merging the two halves by assignment index restores the exact
+    # order the historical single-pass scan produced, so the shuffles
+    # see identical inputs.
+    subtree: dict[str, list[tuple[int, str]]] = {}
+    at_path: dict[str, list[tuple[int, str]]] = {}
+    for index, (node_id, path) in enumerate(assignment.items()):
+        bits = path._bits
+        entry = (index, node_id)
+        for cut in range(len(bits) + 1):
+            prefix_nodes = subtree.get(bits[:cut])
+            if prefix_nodes is None:
+                subtree[bits[:cut]] = [entry]
+            else:
+                prefix_nodes.append(entry)
+        exact = at_path.get(bits)
+        if exact is None:
+            at_path[bits] = [entry]
+        else:
+            exact.append(entry)
+    cover_cache: dict[str, list[str]] = {}
+    replica_cache: dict[str, list[str]] = {}
     tables: dict[str, tuple[list[str], list[list[str]]]] = {}
     for node_id, path in assignment.items():
-        replicas = sorted(
-            other_id
-            for other_path, other_id in by_path
-            if other_id != node_id and other_path == path
-        )
+        path_bits = path._bits
+        peers_at_path = replica_cache.get(path_bits)
+        if peers_at_path is None:
+            peers_at_path = replica_cache[path_bits] = sorted(
+                other_id for _i, other_id in at_path[path_bits]
+            )
+        replicas = [p for p in peers_at_path if p != node_id]
         routing_table: list[list[str]] = []
-        for level in range(len(path)):
-            complement = path.sibling_prefix(level)
-            candidates = [
-                other_id
-                for other_path, other_id in by_path
-                if other_id != node_id and _covers(other_path, complement)
-            ]
+        for level in range(len(path_bits)):
+            complement = (path_bits[:level]
+                          + ("1" if path_bits[level] == "0" else "0"))
+            eligible = cover_cache.get(complement)
+            if eligible is None:
+                covering = list(subtree.get(complement, ()))
+                for cut in range(len(complement)):
+                    covering.extend(at_path.get(complement[:cut], ()))
+                covering.sort()
+                eligible = cover_cache[complement] = [
+                    other_id for _i, other_id in covering
+                ]
+            candidates = list(eligible)
             rng.shuffle(candidates)
             routing_table.append(sorted(candidates[:refs_per_level]))
         tables[node_id] = (replicas, routing_table)

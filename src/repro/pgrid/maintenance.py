@@ -98,13 +98,29 @@ class MaintenanceProcess:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Schedule the first tick for every peer (with jitter)."""
+        """Schedule the first tick for every peer (with jitter).
+
+        The first ticks are bulk-inserted per event loop
+        (:meth:`~repro.simnet.events.EventLoop.schedule_batch`): at
+        deployment scale this start-up storm is thousands of timers,
+        and heapifying once beats pushing them one by one.  Jitter is
+        still drawn per peer in sorted order, so the schedule is
+        bit-identical to the sequential form.
+        """
         self._running = True
         self._tracked: set[str] = set()
+        by_loop: dict[int, tuple] = {}
         for node_id in sorted(self.peers):
             self._tracked.add(node_id)
             delay = self.rng.uniform(0, self.interval)
-            self._schedule_tick(node_id, delay)
+            peer = self.peers.get(node_id)
+            if peer is None or peer.network is None:
+                continue
+            loop = peer.loop
+            _loop, items = by_loop.setdefault(id(loop), (loop, []))
+            items.append((delay, self._tick, (node_id,)))
+        for loop, items in by_loop.values():
+            loop.schedule_batch(items)
         self._schedule_roster_scan()
 
     def stop(self) -> None:

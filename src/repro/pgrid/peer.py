@@ -29,14 +29,18 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-from repro.simnet.events import Future
+from repro.simnet.events import Future, SimulationError
 from repro.simnet.network import Message, Node
 from repro.stats.gossip import PIGGYBACK_BUDGET, PULL_BUDGET
 from repro.stats.synopsis import PeerSynopsis, SynopsisRegistry
 from repro.util.keys import Key, common_prefix_length
+
+#: shared empty avoid-set for forwarded routes (never mutated); saves
+#: one set allocation per forwarding hop on the hottest handler
+_NO_AVOID: frozenset = frozenset()
 
 
 @dataclass
@@ -57,29 +61,41 @@ class OpResult:
     attempts: int = 1
 
 
-@dataclass
 class _Pending:
-    """Origin-side state of one in-flight operation."""
+    """Origin-side state of one in-flight operation.
 
-    future: Future
-    key: Key
-    op: str
-    value: Any
-    issued_at: float
-    attempts: int = 1
-    timeout_handle: Any = None
-    extra: dict = field(default_factory=dict)
-    #: attribution tag captured at issue time, so timeout-driven
-    #: retries (which run outside any delivery scope) keep billing
-    #: their messages to the originating operation
-    op_tag: str | None = None
-    #: first-hop references already tried; replica-aware failover
-    #: steers retries away from these toward alternate replicas
-    tried_hops: set[str] = field(default_factory=set)
-    #: cooperative-cancellation token of the issuing computation (see
-    #: :class:`~repro.simnet.events.CancelToken`); a fired token stops
-    #: timeout retries and resolves the operation immediately
-    cancel: Any = None
+    A slot class with a hand-written ``__init__`` — one instance per
+    issued operation makes the dataclass machinery (default factories,
+    keyword processing) measurable during deployment builds.
+    """
+
+    __slots__ = ("future", "key", "op", "value", "issued_at", "attempts",
+                 "timeout_handle", "extra", "op_tag", "tried_hops",
+                 "cancel")
+
+    def __init__(self, future: Future, key: Key, op: str, value: Any,
+                 issued_at: float, op_tag: str | None = None,
+                 cancel: Any = None) -> None:
+        self.future = future
+        self.key = key
+        self.op = op
+        self.value = value
+        self.issued_at = issued_at
+        self.attempts = 1
+        self.timeout_handle: Any = None
+        self.extra: dict = {}
+        #: attribution tag captured at issue time, so timeout-driven
+        #: retries (which run outside any delivery scope) keep billing
+        #: their messages to the originating operation
+        self.op_tag = op_tag
+        #: first-hop references already tried; replica-aware failover
+        #: steers retries away from these toward alternate replicas
+        self.tried_hops: set[str] = set()
+        #: cooperative-cancellation token of the issuing computation
+        #: (see :class:`~repro.simnet.events.CancelToken`); a fired
+        #: token stops timeout retries and resolves the operation
+        #: immediately
+        self.cancel = cancel
 
 
 class PGridPeer(Node):
@@ -236,7 +252,7 @@ class PGridPeer(Node):
 
     def local_insert(self, key: Key, value: Any) -> None:
         """Append a value under ``key`` in the local store."""
-        self.store.setdefault(key.bits, []).append(value)
+        self.store.setdefault(key._bits, []).append(value)
 
     def local_remove(self, key: Key, value: Any) -> int:
         """Remove all copies of ``value`` under ``key``; return count."""
@@ -251,7 +267,7 @@ class PGridPeer(Node):
 
     def local_retrieve(self, key: Key) -> list[Any]:
         """All values stored under exactly ``key``."""
-        return list(self.store.get(key.bits, ()))
+        return list(self.store.get(key._bits, ()))
 
     def local_retrieve_prefix(self, prefix: Key) -> list[Any]:
         """All locally stored values whose key extends ``prefix``.
@@ -319,14 +335,20 @@ class PGridPeer(Node):
             future.set_result(OpResult(key=key, success=False, attempts=0))
             return future
         op_id = f"{self.node_id}:{next(self._op_ids)}"
+        # Direct transport access (vs the ``loop``/``current_operation``
+        # properties): ops are issued in bulk during deployment builds,
+        # where the extra frames are measurable.
+        network = self.network
+        if network is None:
+            raise SimulationError(f"node {self.node_id} is not attached")
+        op_stack = network._op_stack
         pending = _Pending(
             future=future,
             key=key,
             op=op,
             value=value,
-            issued_at=self.loop.now,
-            op_tag=(self.network.current_operation()
-                    if self.network is not None else None),
+            issued_at=network.loop._now,
+            op_tag=op_stack[-1] if op_stack else None,
             cancel=cancel,
         )
         self._pending[op_id] = pending
@@ -368,13 +390,15 @@ class PGridPeer(Node):
         pending = self._pending.get(op_id)
         if pending is None:
             return
-        pending.timeout_handle = self.loop.schedule(
+        # Direct loop access (one ``loop``-property frame per issued
+        # op adds up at deployment-build volume).
+        pending.timeout_handle = self.network.loop.schedule(
             self.timeout, self._on_timeout, op_id
         )
         payload = {
             "op": pending.op,
             "op_id": op_id,
-            "key": pending.key.bits,
+            "key": pending.key._bits,
             "origin": self.node_id,
             "value": pending.value,
         }
@@ -465,44 +489,60 @@ class PGridPeer(Node):
         self.receive_synopses(message.payload.get("synopses") or ())
 
     def _handle_route(self, message: Message) -> None:
-        key = Key(message.payload["key"])
-        if message.hops > len(key) + 8:
+        # Hottest handler in the system: work on the payload's raw bit
+        # string and only materialize a (shared, interned) Key object
+        # when this peer actually answers.  Forwarding a message costs
+        # no Key construction at all.
+        key_bits: str = message.payload["key"]
+        if message.hops > len(key_bits) + 8:
             # Safety net: greedy forwarding strictly extends the
             # common prefix, so a legitimate route never exceeds the
             # key width; anything longer indicates a poisoned table.
             return
-        if self.is_responsible_for(key) or not len(self.path):
-            self._answer(message, key)
+        path_bits = self.path._bits
+        if key_bits.startswith(path_bits):  # responsible (or root path)
+            self._answer(message, Key.of(key_bits))
             return
-        level = common_prefix_length(self.path, key)
-        if level >= len(self.path) or level >= len(key):
+        level = 0
+        for x, y in zip(path_bits, key_bits):
+            if x != y:
+                break
+            level += 1
+        if level >= len(path_bits) or level >= len(key_bits):
             # Prefix-comparable in either direction: for full-width
             # keys this means we own the key; for short prefix keys
             # (range queries) our leaf lies inside the prefix's
             # subtree, making us a valid entry point for the shower.
-            self._answer(message, key)
+            self._answer(message, Key.of(key_bits))
             return
         at_origin = (message.hops == 0
                      and message.payload.get("origin") == self.node_id)
-        avoid: set[str] = set()
         if at_origin:
-            avoid = set(message.payload.get("avoid") or ())
+            avoid: "set[str] | frozenset[str]" = set(
+                message.payload.get("avoid") or ())
+        else:
+            avoid = _NO_AVOID
         next_hop = self._next_hop_with_failover(level, avoid)
         if next_hop is None:
             # Dead end: no live reference toward the key.  Drop; the
             # origin's timeout will retry (possibly through another
             # replica of the first hop).
             return
+        payload = message.payload
         if at_origin:
-            pending = self._pending.get(message.payload.get("op_id"))
+            pending = self._pending.get(payload.get("op_id"))
             if pending is not None:
                 pending.tried_hops.add(next_hop)
-        payload = dict(message.payload)
-        # The avoid hint is an origin-local failover decision; it has
-        # no meaning (and must not constrain routing) past the first
-        # hop.
-        payload.pop("avoid", None)
-        self.send(next_hop, "route", payload, hops=message.hops + 1)
+        if "avoid" in payload:
+            # The avoid hint is an origin-local failover decision; it
+            # has no meaning (and must not constrain routing) past the
+            # first hop.  Only then is a copy needed — forwarded
+            # payloads are immutable by protocol convention, so the
+            # common case shares the dict across hops.
+            payload = dict(payload)
+            del payload["avoid"]
+        self.network.send(Message("route", self.node_id, next_hop,
+                                  payload, message.hops + 1))
 
     def _next_hop_with_failover(self, level: int,
                                 avoid: set[str]) -> str | None:
@@ -517,22 +557,29 @@ class PGridPeer(Node):
         level is down.  Without failover the historical behaviour
         applies: the message is sent and silently dropped.
         """
+        # First pick without materializing a scratch set: failovers are
+        # rare, and the common case is pick-once-and-forward.
+        next_hop = self._pick_reference(level, avoid=avoid)
+        if next_hop is None:
+            return None
+        if (not self.failover or self.network is None
+                or self.network.is_online(next_hop)
+                or next_hop in avoid):
+            # Live hop, failover disabled, or no alternative left
+            # (the avoid fallback re-offered a known-dead ref).
+            return next_hop
         tried = set(avoid)
         while True:
-            next_hop = self._pick_reference(level, avoid=frozenset(tried))
-            if next_hop is None:
-                return None
-            if (not self.failover or self.network is None
-                    or self.network.is_online(next_hop)
-                    or next_hop in tried):
-                # Live hop, failover disabled, or no alternative left
-                # (the avoid fallback re-offered a known-dead ref).
-                return next_hop
             tried.add(next_hop)
             self.failover_stats["failovers"] += 1
+            next_hop = self._pick_reference(level, avoid=tried)
+            if next_hop is None:
+                return None
+            if (self.network.is_online(next_hop) or next_hop in tried):
+                return next_hop
 
     def _pick_reference(self, level: int,
-                        avoid: frozenset = frozenset()) -> str | None:
+                        avoid: "frozenset | set" = frozenset()) -> str | None:
         """A uniformly random reference at ``level``.
 
         The peer has no oracle for remote liveness: it only knows what
@@ -546,15 +593,24 @@ class PGridPeer(Node):
         refs = self.routing_table[level]
         if not refs:
             return None
-        now = self.loop.now
-        trusted = [r for r in refs
-                   if self.ref_blacklist.get(r, 0.0) <= now]
-        pool = trusted if trusted else refs
+        blacklist = self.ref_blacklist
+        if blacklist:
+            now = self.loop.now
+            trusted = [r for r in refs if blacklist.get(r, 0.0) <= now]
+            pool = trusted if trusted else refs
+        else:
+            # Empty blacklist (the overwhelmingly common case): every
+            # ref is trusted, so skip the filtering pass entirely.
+            # ``rng.choice`` sees the same pool either way.
+            pool = refs
         if avoid:
             fresh = [r for r in pool if r not in avoid]
             if fresh:
                 pool = fresh
-        return self.rng.choice(pool)
+        # Inlined ``rng.choice(pool)`` (pool is never empty here):
+        # identical rng consumption, one frame less per routed hop.
+        rng = self.rng
+        return pool[rng._randbelow(len(pool))]
 
     def _execute_op(self, op: str, key: Key, value: Any) -> tuple[list[Any] | None, bool]:
         """Apply one operation against local state.
@@ -746,14 +802,15 @@ class PGridPeer(Node):
 
     def _answer(self, message: Message, key: Key) -> None:
         """Apply the operation locally and reply to the origin."""
-        op = message.payload["op"]
-        value = message.payload.get("value")
+        payload = message.payload
+        op = payload["op"]
+        value = payload.get("value")
         values, mutated = self._execute_op(op, key, value)
         if mutated:
             self._propagate_to_replicas(op, key, value)
-        origin = message.payload["origin"]
+        origin = payload["origin"]
         reply_payload = {
-            "op_id": message.payload["op_id"],
+            "op_id": payload["op_id"],
             "values": values,
             "hops": message.hops,
             "answered_by": self.node_id,
@@ -761,18 +818,21 @@ class PGridPeer(Node):
         if origin == self.node_id:
             self._complete(reply_payload)
         else:
-            self.send(origin, "reply", reply_payload, hops=message.hops + 1)
+            self.network.send(Message("reply", self.node_id, origin,
+                                      reply_payload, message.hops + 1))
 
     def _propagate_to_replicas(self, op: str, key: Key, value: Any) -> None:
+        network = self.network
+        node_id = self.node_id
         for replica in self.replicas:
-            self.send(replica, "replicate", {
+            network.send(Message("replicate", node_id, replica, {
                 "op": op,
-                "key": key.bits,
+                "key": key._bits,
                 "value": value,
-            })
+            }))
 
     def _handle_replicate(self, message: Message) -> None:
-        key = Key(message.payload["key"])
+        key = Key.of(message.payload["key"])
         if message.payload["op"] == "insert":
             self.local_insert(key, message.payload["value"])
         else:
@@ -783,10 +843,10 @@ class PGridPeer(Node):
 
     def _complete(self, payload: dict, hops_override: int | None = None) -> None:
         op_id = payload["op_id"]
-        if str(op_id).startswith("range!"):
+        if op_id.startswith("range!"):
             self._on_range_report(op_id, payload)
             return
-        if str(op_id).startswith("refslkp!"):
+        if op_id.startswith("refslkp!"):
             self._on_refs_lookup_reply(op_id, payload)
             return
         pending = self._pending.pop(op_id, None)
@@ -799,7 +859,7 @@ class PGridPeer(Node):
             success=True,
             values=payload.get("values"),
             hops=hops_override if hops_override is not None else payload["hops"],
-            latency=self.loop.now - pending.issued_at,
+            latency=self.network.loop._now - pending.issued_at,
             attempts=pending.attempts,
         ))
 

@@ -18,6 +18,8 @@ routes on the predicate even though the object is also constant.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from operator import attrgetter
+from typing import Any
 
 from repro.rdf.terms import (
     GroundTerm,
@@ -47,7 +49,7 @@ class TriplePattern:
     <Position.PREDICATE: 'predicate'>
     """
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash", "_matcher")
 
     def __init__(self, subject: Term, predicate: Term, obj: Term) -> None:
         if isinstance(subject, Literal):
@@ -101,13 +103,14 @@ class TriplePattern:
         >>> str(p.substitute({Variable("x"): URI("S:e1")}))
         '(<S:e1>, <S#len>, y?)'
         """
-        parts = []
-        for pos in ALL_POSITIONS:
-            term = self.at(pos)
-            if isinstance(term, Variable) and term in bindings:
-                term = bindings[term]
-            parts.append(term)
-        return TriplePattern(*parts)
+        s, p, o = self.subject, self.predicate, self.object
+        if isinstance(s, Variable) and s in bindings:
+            s = bindings[s]
+        if isinstance(p, Variable) and p in bindings:
+            p = bindings[p]
+        if isinstance(o, Variable) and o in bindings:
+            o = bindings[o]
+        return TriplePattern(s, p, o)
 
     def constants(self) -> dict[Position, GroundTerm]:
         """Ground terms by position."""
@@ -168,11 +171,70 @@ class TriplePattern:
         Returns the (possibly extended) bindings dict on success, or
         ``None`` on mismatch.  LIKE literals match by substring;
         repeated variables must bind consistently.
+
+        This runs once per (pattern, candidate triple) on every local
+        scan.  Patterns are immutable and long-lived (plans cache
+        them), so the shape analysis — which positions are variables,
+        which constants are LIKE literals — is done once and cached as
+        a compiled matcher closure; the per-triple work is then just
+        the constant checks plus one dict build for the bindings.
         """
+        if bindings:
+            return self._match_generic(triple, bindings)
+        try:
+            matcher = self._matcher
+        except AttributeError:
+            matcher = self._compile_matcher()
+            object.__setattr__(self, "_matcher", matcher)
+        return matcher(triple)
+
+    def _compile_matcher(self):
+        """Build the per-triple matcher closure for this pattern."""
+        consts: list[tuple[Any, Term, bool]] = []
+        var_binds: list[tuple[Variable, Any]] = []
+        seen: set[Variable] = set()
+        repeated = False
+        for name, term in (("subject", self.subject),
+                           ("predicate", self.predicate),
+                           ("object", self.object)):
+            get = attrgetter(name)
+            if isinstance(term, Variable):
+                if term in seen:
+                    repeated = True
+                seen.add(term)
+                var_binds.append((term, get))
+            elif isinstance(term, Literal):
+                consts.append((get, term, True))
+            else:
+                consts.append((get, term, False))
+        if repeated:
+            # Repeated variables need consistency checks; rare enough
+            # to keep on the generic path.
+            return lambda triple: self._match_generic(triple, None)
+        const_checks = tuple(consts)
+        binds = tuple(var_binds)
+
+        def matcher(triple: Triple) -> dict[Variable, GroundTerm] | None:
+            for get, term, is_literal in const_checks:
+                if is_literal:
+                    if not term.matches_value(get(triple)):
+                        return None
+                elif term != get(triple):
+                    return None
+            return {var: get(triple) for var, get in binds}
+
+        return matcher
+
+    def _match_generic(self, triple: Triple,
+                       bindings: Bindings | None
+                       ) -> dict[Variable, GroundTerm] | None:
+        """Reference matcher: position loop with consistency checks."""
         result: dict[Variable, GroundTerm] = dict(bindings) if bindings else {}
-        for pos in ALL_POSITIONS:
-            pattern_term = self.at(pos)
-            triple_term = triple.at(pos)
+        for pattern_term, triple_term in (
+            (self.subject, triple.subject),
+            (self.predicate, triple.predicate),
+            (self.object, triple.object),
+        ):
             if isinstance(pattern_term, Variable):
                 bound = result.get(pattern_term)
                 if bound is None:
@@ -198,7 +260,12 @@ class TriplePattern:
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(("TriplePattern", self._key()))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(("TriplePattern", self._key()))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         return (f"TriplePattern({self.subject!r}, {self.predicate!r}, "
@@ -224,7 +291,7 @@ class ConjunctiveQuery:
     1
     """
 
-    __slots__ = ("patterns", "distinguished")
+    __slots__ = ("patterns", "distinguished", "_hash")
 
     def __init__(self, patterns: Iterable[TriplePattern],
                  distinguished: Iterable[Variable]) -> None:
@@ -272,7 +339,12 @@ class ConjunctiveQuery:
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(("ConjunctiveQuery", self._key()))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(("ConjunctiveQuery", self._key()))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         return (f"ConjunctiveQuery({list(self.patterns)!r}, "

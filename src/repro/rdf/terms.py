@@ -12,9 +12,15 @@ from typing import Union
 
 
 class _BaseTerm:
-    """Common plumbing for the three term kinds."""
+    """Common plumbing for the three term kinds.
 
-    __slots__ = ("value",)
+    Terms are the atoms of every hot data structure (index keys, batch
+    tuples, binding sets), so their hash is computed once and cached in
+    a slot — the cache fills lazily on first use, keeping construction
+    as cheap as before.
+    """
+
+    __slots__ = ("value", "_hash")
     _order = 0  # subclass-specific sort rank
 
     def __init__(self, value: str) -> None:
@@ -38,7 +44,12 @@ class _BaseTerm:
         return (self._order, self.value) < (other._order, other.value)
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.value))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((type(self).__name__, self.value))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.value!r})"
@@ -79,17 +90,31 @@ class Literal(_BaseTerm):
     string.
     """
 
-    __slots__ = ()
+    __slots__ = ("_kind",)
     _order = 1
+
+    def _pattern_kind(self) -> int:
+        """0 = exact value, 1 = ``%substring%``, 2 = ``prefix%``.
+
+        Computed once per literal (cached in a slot): the store's
+        candidate picker and every LIKE match re-ask these questions
+        for the same handful of pattern literals.
+        """
+        try:
+            return self._kind
+        except AttributeError:
+            value = self.value
+            if len(value) >= 2 and value.endswith("%"):
+                kind = 1 if value.startswith("%") else 2
+            else:
+                kind = 0
+            object.__setattr__(self, "_kind", kind)
+            return kind
 
     @property
     def is_like_pattern(self) -> bool:
         """Whether this literal denotes a ``%substring%`` match."""
-        return (
-            len(self.value) >= 2
-            and self.value.startswith("%")
-            and self.value.endswith("%")
-        )
+        return self._pattern_kind() == 1
 
     @property
     def is_prefix_pattern(self) -> bool:
@@ -100,11 +125,7 @@ class Literal(_BaseTerm):
         common prefix in one contiguous key interval, which the
         overlay's range query resolves.
         """
-        return (
-            len(self.value) >= 2
-            and self.value.endswith("%")
-            and not self.value.startswith("%")
-        )
+        return self._pattern_kind() == 2
 
     @property
     def like_needle(self) -> str:
@@ -122,10 +143,11 @@ class Literal(_BaseTerm):
 
     def matches_value(self, stored: "Literal | URI") -> bool:
         """Whether this (possibly LIKE/prefix) literal matches a term."""
-        if self.is_like_pattern:
-            return self.like_needle in stored.value
-        if self.is_prefix_pattern:
-            return stored.value.startswith(self.prefix_needle)
+        kind = self._pattern_kind()
+        if kind == 1:
+            return self.value[1:-1] in stored.value
+        if kind == 2:
+            return stored.value.startswith(self.value[:-1])
         return isinstance(stored, Literal) and stored.value == self.value
 
     def __str__(self) -> str:

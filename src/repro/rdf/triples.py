@@ -25,6 +25,13 @@ class Position(enum.Enum):
     def __str__(self) -> str:
         return self.value
 
+    # Enum's default ``__hash__`` is a Python-level ``hash(self._name_)``
+    # call; positions key the store's index dicts, so every index probe
+    # pays it.  Members are singletons compared by identity, so the
+    # identity-based C slot is equivalent (and hash order is never
+    # observable: all Position-keyed mappings iterate insertion order).
+    __hash__ = object.__hash__
+
 
 #: Iteration order for "index each triple three times".
 ALL_POSITIONS = (Position.SUBJECT, Position.PREDICATE, Position.OBJECT)
@@ -39,7 +46,7 @@ class Triple:
     URI('EMBL#Organism')
     """
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash")
 
     def __init__(self, subject: URI, predicate: URI, obj: GroundTerm) -> None:
         if not isinstance(subject, URI):
@@ -76,7 +83,12 @@ class Triple:
         return self.as_tuple() < other.as_tuple()
 
     def __hash__(self) -> int:
-        return hash(self.as_tuple())
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.subject, self.predicate, self.object))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"

@@ -1,9 +1,10 @@
 """Event loop and futures for the discrete-event simulation.
 
-A minimal, deterministic scheduler: events are ``(time, seq, callback)``
-entries in a binary heap.  The ``seq`` tiebreaker makes same-time
-events fire in scheduling order, which keeps whole simulations
-reproducible bit-for-bit under a fixed seed.
+A minimal, deterministic scheduler: events are ``(time, seq, handle)``
+entries in a binary heap, where the slot-only :class:`EventHandle`
+carries the callback and its arguments.  The ``seq`` tiebreaker makes
+same-time events fire in scheduling order, which keeps whole
+simulations reproducible bit-for-bit under a fixed seed.
 """
 
 from __future__ import annotations
@@ -25,17 +26,26 @@ class EventHandle:
     callers (e.g. the sharded transport's window stepper) can tell
     "queue still holds work" from "queue holds only cancelled
     tombstones" without draining it.
+
+    The handle also *is* the event: callback and arguments live in
+    slots here (no per-event dict, no separate heap payload), so a
+    heap entry is just ``(time, seq, handle)``.
     """
 
-    __slots__ = ("time", "seq", "cancelled", "_loop", "_fired")
+    __slots__ = ("time", "seq", "cancelled", "_loop", "_fired",
+                 "_callback", "_args")
 
     def __init__(self, time: float, seq: int,
-                 loop: "EventLoop | None" = None) -> None:
+                 loop: "EventLoop | None" = None,
+                 callback: "Callable | None" = None,
+                 args: tuple = ()) -> None:
         self.time = time
         self.seq = seq
         self.cancelled = False
         self._loop = loop
         self._fired = False
+        self._callback = callback
+        self._args = args
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
@@ -166,18 +176,30 @@ def gather(futures: list[Future]) -> Future:
     if remaining == 0:
         combined.set_result([])
         return combined
-    results: list = [None] * remaining
-    state = {"left": remaining}
-
-    def _on_done(index: int, fut: Future) -> None:
-        results[index] = fut.result()
-        state["left"] -= 1
-        if state["left"] == 0:
-            combined.set_result(results)
-
+    gatherer = _Gather(combined, remaining)
     for i, fut in enumerate(futures):
-        fut.add_done_callback(lambda f, i=i: _on_done(i, f))
-    return combined
+        fut.add_done_callback(gatherer._callback(i))
+    return gatherer.combined
+
+
+class _Gather:
+    """Shared state of one :func:`gather` call (slot class: one
+    instance per gather, and triple insertion gathers constantly)."""
+
+    __slots__ = ("combined", "left", "results")
+
+    def __init__(self, combined: Future, remaining: int) -> None:
+        self.combined = combined
+        self.left = remaining
+        self.results: list = [None] * remaining
+
+    def _callback(self, index: int):
+        def _on_done(fut: Future) -> None:
+            self.results[index] = fut.result()
+            self.left -= 1
+            if self.left == 0:
+                self.combined.set_result(self.results)
+        return _on_done
 
 
 class EventLoop:
@@ -195,7 +217,7 @@ class EventLoop:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = itertools.count()
-        self._queue: list[tuple[float, int, EventHandle, Callable, tuple]] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._events_processed = 0
         self._live = 0
 
@@ -240,8 +262,8 @@ class EventLoop:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self._now + delay
-        handle = EventHandle(time, next(self._seq), loop=self)
-        heapq.heappush(self._queue, (time, handle.seq, handle, callback, args))
+        handle = EventHandle(time, next(self._seq), self, callback, args)
+        heapq.heappush(self._queue, (time, handle.seq, handle))
         self._live += 1
         return handle
 
@@ -249,31 +271,82 @@ class EventLoop:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
         return self.schedule(max(0.0, time - self._now), callback, *args)
 
+    def schedule_batch(
+        self, items: "list[tuple[float, Callable, tuple]]",
+    ) -> list[EventHandle]:
+        """Schedule many ``(delay, callback, args)`` entries at once.
+
+        Sequence numbers follow list order, so the firing order is
+        identical to an equivalent sequence of :meth:`schedule` calls;
+        when the queue is empty the entries are bulk-heapified (O(n)
+        instead of n pushes) — the maintenance sweep's start-up storm
+        is the intended caller.
+        """
+        now = self._now
+        seq = self._seq
+        handles: list[EventHandle] = []
+        entries: list[tuple[float, int, EventHandle]] = []
+        for delay, callback, args in items:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={delay})")
+            time = now + delay
+            handle = EventHandle(time, next(seq), self, callback, args)
+            handles.append(handle)
+            entries.append((time, handle.seq, handle))
+        queue = self._queue
+        if queue:
+            for entry in entries:
+                heapq.heappush(queue, entry)
+        else:
+            queue.extend(entries)
+            heapq.heapify(queue)
+        self._live += len(entries)
+        return handles
+
     def _pop_and_fire(self) -> None:
-        time, _seq, handle, callback, args = heapq.heappop(self._queue)
+        time, _seq, handle = heapq.heappop(self._queue)
         if handle.cancelled:
             return
         handle._fired = True
         self._live -= 1
         self._now = time
         self._events_processed += 1
-        callback(*args)
+        handle._callback(*handle._args)
 
     def run_until_idle(self, max_events: int | None = None) -> None:
         """Fire events until the queue drains (or ``max_events`` fire)."""
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
+        while queue:
             if max_events is not None and fired >= max_events:
                 raise SimulationError(
                     f"run_until_idle exceeded {max_events} events"
                 )
-            self._pop_and_fire()
             fired += 1
+            time, _seq, handle = pop(queue)
+            if handle.cancelled:
+                continue
+            handle._fired = True
+            self._live -= 1
+            self._now = time
+            self._events_processed += 1
+            handle._callback(*handle._args)
 
     def run_until(self, time: float) -> None:
         """Fire all events scheduled strictly up to virtual time ``time``."""
-        while self._queue and self._queue[0][0] <= time:
-            self._pop_and_fire()
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and queue[0][0] <= time:
+            event_time, _seq, handle = pop(queue)
+            if handle.cancelled:
+                continue
+            handle._fired = True
+            self._live -= 1
+            self._now = event_time
+            self._events_processed += 1
+            handle._callback(*handle._args)
         self._now = max(self._now, time)
 
     def run_until_complete(self, future: Future, max_events: int = 10_000_000) -> Any:
@@ -283,14 +356,25 @@ class EventLoop:
         future resolving — that indicates a lost message or a protocol
         bug, and failing loudly beats hanging.
         """
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while not future.done:
-            if not self._queue:
+        # Direct slot access: the ``done`` property would cost one
+        # Python frame per fired event in the hottest loop.
+        while not future._done:
+            if not queue:
                 raise SimulationError(
                     "event queue drained but future is unresolved"
                 )
             if fired >= max_events:
                 raise SimulationError(f"exceeded {max_events} events")
-            self._pop_and_fire()
             fired += 1
+            time, _seq, handle = pop(queue)
+            if handle.cancelled:
+                continue
+            handle._fired = True
+            self._live -= 1
+            self._now = time
+            self._events_processed += 1
+            handle._callback(*handle._args)
         return future.result()

@@ -18,15 +18,14 @@ each other.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Any, Callable
 
-from repro.simnet.events import EventLoop, SimulationError
+from repro.simnet.events import EventHandle, EventLoop, SimulationError
 from repro.simnet.latency import ConstantLatency, LatencyModel
 from repro.simnet.transport import Transport
 
 
-@dataclass
 class Message:
     """One network message (the envelope of the actor boundary).
 
@@ -35,19 +34,35 @@ class Message:
     free-form ``payload`` dict carries protocol state.  Payloads must
     stay plain data (picklable) — a sharded transport ships them across
     process boundaries.
+
+    A slot-only class rather than a dataclass: one Message is built per
+    send, and at deployment scale the per-instance dict is measurable
+    overhead (slot instances also pickle fine across shard workers).
     """
 
-    kind: str
-    src: str
-    dst: str
-    payload: dict[str, Any] = field(default_factory=dict)
-    hops: int = 0
-    sent_at: float = 0.0
-    #: attribution tag of the logical operation this message belongs
-    #: to; filled from the network's active operation scope when left
-    #: ``None`` and inherited by every message sent while handling the
-    #: delivery (forwards, replies, replica fan-out)
-    op_tag: str | None = None
+    __slots__ = ("kind", "src", "dst", "payload", "hops", "sent_at",
+                 "op_tag")
+
+    def __init__(self, kind: str, src: str, dst: str,
+                 payload: dict[str, Any] | None = None, hops: int = 0,
+                 sent_at: float = 0.0, op_tag: str | None = None) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = {} if payload is None else payload
+        self.hops = hops
+        self.sent_at = sent_at
+        #: attribution tag of the logical operation this message
+        #: belongs to; filled from the network's active operation scope
+        #: when left ``None`` and inherited by every message sent while
+        #: handling the delivery (forwards, replies, replica fan-out)
+        self.op_tag = op_tag
+
+    def __repr__(self) -> str:
+        return (f"Message(kind={self.kind!r}, src={self.src!r}, "
+                f"dst={self.dst!r}, payload={self.payload!r}, "
+                f"hops={self.hops}, sent_at={self.sent_at}, "
+                f"op_tag={self.op_tag!r})")
 
 
 class Node:
@@ -68,6 +83,10 @@ class Node:
         self.online = True
         #: message kind -> bound handler (see :meth:`register_handler`)
         self._handlers: dict[str, Callable[[Message], None]] = {}
+        #: True when this node uses the stock :meth:`on_message`
+        #: dispatch, letting the transport jump straight to the handler
+        #: registry on delivery (one less frame per message)
+        self._fast_dispatch = type(self).on_message is Node.on_message
 
     @property
     def loop(self) -> EventLoop:
@@ -135,13 +154,11 @@ class SimNetwork(Transport):
         rng: random.Random | None = None,
     ) -> None:
         super().__init__()
-        self._loop = loop if loop is not None else EventLoop()
+        # ``loop`` doubles as the public accessor (see Transport.loop);
+        # ``_loop`` is kept as an alias for existing internal callers.
+        self.loop = self._loop = loop if loop is not None else EventLoop()
         self.latency = latency if latency is not None else ConstantLatency()
         self.rng = rng if rng is not None else random.Random(0)
-
-    @property
-    def loop(self) -> EventLoop:
-        return self._loop
 
     # -- transport -----------------------------------------------------
 
@@ -152,9 +169,12 @@ class SimNetwork(Transport):
         drop is recorded so protocols under test can be audited for
         relying on silent success.
         """
-        message.sent_at = self._loop.now
+        loop = self._loop
+        message.sent_at = loop._now
         if message.op_tag is None:
-            message.op_tag = self.current_operation()
+            op_stack = self._op_stack
+            if op_stack:
+                message.op_tag = op_stack[-1]
         dst_node = self._nodes.get(message.dst)
         if dst_node is None or not dst_node.online:
             self.metrics.record_drop(message.kind, reason="offline")
@@ -165,11 +185,27 @@ class SimNetwork(Transport):
             if drop_reason is not None:
                 self.metrics.record_drop(message.kind, reason=drop_reason)
                 return
-        delay = self.latency.sample(message.src, message.dst, self.rng)
+        latency = self.latency
+        if type(latency) is ConstantLatency:
+            # The default model needs no sampling call (and consumes no
+            # randomness) — skip the frame on the per-message path.
+            delay = latency.delay
+        else:
+            delay = latency.sample(message.src, message.dst, self.rng)
+        # Inlined ``self.metrics.record_send(...)``: one method call per
+        # message is measurable at deployment-build volume.
+        kind = message.kind
+        metrics = self.metrics
+        metrics.messages_sent += 1
+        metrics.total_latency += delay
         values = message.payload.get("values")
-        values_count = len(values) if isinstance(values, (list, set)) else 0
-        self.metrics.record_send(message.kind, delay, values_count,
-                                 op_tag=message.op_tag)
+        if values is not None and isinstance(values, (list, set)):
+            metrics.values_shipped += len(values)
+        by_kind = metrics.messages_by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        op_tag = message.op_tag
+        if op_tag is not None and op_tag in metrics.operations:
+            metrics.operations[op_tag] += 1
         if injector is not None:
             # The injector owns scheduling for faulted links: it may
             # add jitter, clone duplicates or hold the message back to
@@ -177,7 +213,15 @@ class SimNetwork(Transport):
             # scheduled exactly as below.
             injector.dispatch(message, delay, self._deliver)
         else:
-            self._loop.schedule(delay, self._deliver, message)
+            # Inlined ``loop.schedule(delay, self._deliver, message)``
+            # — same heap entry and seq numbering, minus one frame on
+            # the per-message path (delay is a sampled latency, never
+            # negative, so the guard is also redundant here).
+            time = loop._now + delay
+            handle = EventHandle(time, next(loop._seq), loop,
+                                 self._deliver, (message,))
+            heappush(loop._queue, (time, handle.seq, handle))
+            loop._live += 1
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
@@ -185,13 +229,29 @@ class SimNetwork(Transport):
             # Destination went offline while the message was in flight.
             self.metrics.record_drop(message.kind, reason="in_flight")
             return
-        if message.op_tag is not None:
-            # Re-open the scope so messages sent by the handler inherit
-            # the delivered message's attribution.
-            with self.operation(message.op_tag):
-                node.on_message(message)
+        if node._fast_dispatch:
+            # Stock dispatch: jump straight to the registered handler
+            # (``on_message`` would do exactly this lookup, one frame
+            # deeper — and this is the hottest call site in the system).
+            handler = node._handlers.get(message.kind)
+            if handler is None:
+                handler = node.unhandled_message
         else:
-            node.on_message(message)
+            handler = node.on_message
+        op_tag = message.op_tag
+        if op_tag is not None:
+            # Re-open the scope so messages sent by the handler inherit
+            # the delivered message's attribution (inlined
+            # ``self.operation(...)``: one scope open/close per
+            # delivery makes the contextmanager generator measurable).
+            op_stack = self._op_stack
+            op_stack.append(op_tag)
+            try:
+                handler(message)
+            finally:
+                op_stack.pop()
+        else:
+            handler(message)
 
 
 #: The canonical transport-facing name for :class:`SimNetwork`: the

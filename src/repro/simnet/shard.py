@@ -119,7 +119,9 @@ class ShardTransport(Transport):
     ) -> None:
         super().__init__()
         self.shard_id = shard_id
-        self._loop = EventLoop()
+        # ``loop`` doubles as the public accessor (see Transport.loop);
+        # ``_loop`` is kept as an alias for existing internal callers.
+        self.loop = self._loop = EventLoop()
         self._owner_of = owner_of
         self.latency = latency
         self.rng = rng
@@ -133,10 +135,6 @@ class ShardTransport(Transport):
         self._liveness: dict[str, bool] = {}
         self._outbox: list[tuple[float, int, Message]] = []
         self._out_seq = itertools.count()
-
-    @property
-    def loop(self) -> EventLoop:
-        return self._loop
 
     def is_online(self, node_id: str) -> bool:
         node = self._nodes.get(node_id)

@@ -68,10 +68,11 @@ class Transport:
 
     # -- clock ---------------------------------------------------------
 
-    @property
-    def loop(self) -> "EventLoop":
-        """The event loop carrying this transport's deliveries."""
-        raise NotImplementedError
+    #: The event loop carrying this transport's deliveries.  A *plain
+    #: attribute* set by concrete transports in ``__init__`` — it is
+    #: read on every message hop and every timer, so a property frame
+    #: here would be pure per-message overhead.
+    loop: "EventLoop"
 
     @property
     def now(self) -> float:

@@ -155,11 +155,20 @@ class StoreSynopsis:
         """Account for one inserted triple."""
         self.version += 1
         self._triples += 1
-        acc = self._by_predicate.get(triple.predicate.value)
+        predicate = triple.predicate.value
+        acc = self._by_predicate.get(predicate)
         if acc is None:
             acc = _PredicateAccumulator()
-            self._by_predicate[triple.predicate.value] = acc
-        acc.add(triple.subject.value, triple.object.value)
+            self._by_predicate[predicate] = acc
+        # Inlined ``acc.add(...)``: this runs once per stored triple
+        # per replica on every deployment build.
+        acc.triples += 1
+        subject = triple.subject.value
+        subjects = acc.subjects
+        subjects[subject] = subjects.get(subject, 0) + 1
+        obj = triple.object.value
+        objects = acc.objects
+        objects[obj] = objects.get(obj, 0) + 1
 
     def remove(self, triple: Triple) -> None:
         """Account for one deleted triple (inverse of :meth:`add`)."""
@@ -265,8 +274,14 @@ class SynopsisRegistry:
         current = self._by_peer.get(digest.peer_id)
         if current is not None:
             # Total order on (version, payload): deterministic winner
-            # for any merge order, idempotent on equal digests.
-            if (current.version, current) >= (digest.version, digest):
+            # for any merge order, idempotent on equal digests.  The
+            # version compare decides almost every gossip re-merge in
+            # O(1); only a genuine version tie between distinct digest
+            # objects pays for the payload comparison.
+            if current.version > digest.version:
+                return False
+            if current.version == digest.version and (
+                    current is digest or current >= digest):
                 return False
         self._by_peer[digest.peer_id] = digest
         self.updates += 1

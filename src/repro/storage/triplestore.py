@@ -62,10 +62,17 @@ class TripleStore:
             return False
         self._triples.add(triple)
         self.synopsis.add(triple)
-        for pos in ALL_POSITIONS:
-            term = triple.at(pos)
-            self._index[pos].setdefault(term, []).append(triple)
-            self._unsorted.add((pos, term))
+        unsorted_ = self._unsorted
+        index = self._index
+        for pos, term in ((Position.SUBJECT, triple.subject),
+                          (Position.PREDICATE, triple.predicate),
+                          (Position.OBJECT, triple.object)):
+            bucket = index[pos].get(term)
+            if bucket is None:
+                index[pos][term] = [triple]
+            else:
+                bucket.append(triple)
+            unsorted_.add((pos, term))
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -173,17 +180,29 @@ class TripleStore:
         iteration order is semantics now, not cosmetics.
         """
         results = []
+        # Hoist the compiled matcher out of the scan: going through
+        # ``pattern.matches`` would pay an extra dispatch frame per
+        # candidate triple (see TriplePattern._compile_matcher).
+        try:
+            matcher = pattern._matcher
+        except AttributeError:
+            matcher = pattern._compile_matcher()
+            object.__setattr__(pattern, "_matcher", matcher)
         for triple in self._candidates(pattern):
-            bindings = pattern.matches(triple)
+            bindings = matcher(triple)
             if bindings is not None:
                 results.append(bindings)
-        if not pattern.variables():
+        variables = pattern.variables()
+        if not variables:
             return [{}] if results else []
         # Deduplicate equal binding dicts (LIKE matches may repeat).
+        # Every dict binds exactly the pattern's variables, so the
+        # value tuple in a fixed variable order is a complete identity
+        # — no repr round-trip needed.
+        order = sorted(variables, key=lambda v: v.value)
         unique: dict[tuple, dict[Variable, GroundTerm]] = {}
         for b in results:
-            key = tuple(sorted((v.value, repr(t)) for v, t in b.items()))
-            unique[key] = b
+            unique[tuple(b[v] for v in order)] = b
         return list(unique.values())
 
     def matching_triples(self, pattern: TriplePattern) -> list[Triple]:

@@ -88,7 +88,7 @@ class Key:
     True
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_bits", "_hash")
 
     def __init__(self, bits: str = "") -> None:
         # str.strip("01") is a C-level scan; keys are rebuilt from
@@ -99,6 +99,25 @@ class Key:
         self._bits = bits
 
     # -- constructors -------------------------------------------------
+
+    @classmethod
+    def of(cls, bits: str) -> "Key":
+        """An interned key for ``bits`` (hot-path constructor).
+
+        Message payloads carry keys as raw bit strings, and the same
+        few thousand keys (one per stored term, plus peer paths) are
+        rebuilt on every routing hop; interning skips both the
+        validation scan and the allocation.  Keys are immutable, so
+        sharing is safe.  The cache is cleared wholesale if it ever
+        exceeds its bound — deterministic, and in practice the key
+        vocabulary of a deployment fits comfortably.
+        """
+        cached = _KEY_INTERN.get(bits)
+        if cached is None:
+            if len(_KEY_INTERN) >= _KEY_INTERN_MAX:
+                _KEY_INTERN.clear()
+            cached = _KEY_INTERN[bits] = cls(bits)
+        return cached
 
     @classmethod
     def from_int(cls, value: int, width: int) -> "Key":
@@ -200,7 +219,12 @@ class Key:
         return self._bits >= other._bits
 
     def __hash__(self) -> int:
-        return hash(("Key", self._bits))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(("Key", self._bits))
+            self._hash = h
+            return h
 
     def __repr__(self) -> str:
         return f"Key({self._bits!r})"
@@ -208,6 +232,10 @@ class Key:
     def __str__(self) -> str:
         return self._bits or "<root>"
 
+
+#: intern table for :meth:`Key.of` (bits -> shared Key instance)
+_KEY_INTERN: dict[str, Key] = {}
+_KEY_INTERN_MAX = 1 << 16
 
 #: memo for :func:`covering_prefixes` — range queries decompose the
 #: same corpus intervals over and over (one per attribute vocabulary)
@@ -276,7 +304,7 @@ def common_prefix_length(a: Key, b: Key) -> int:
     3
     """
     n = 0
-    for x, y in zip(a.bits, b.bits):
+    for x, y in zip(a._bits, b._bits):
         if x != y:
             break
         n += 1

@@ -1,0 +1,55 @@
+"""Shared cProfile harness for the CLI and the benchmark suite.
+
+One entry point, :func:`profile_call`, used by both consumers:
+
+* ``python -m repro query/batch/scenario --profile`` wraps the whole
+  command and prints the hot functions afterwards;
+* ``benchmarks/profile.py`` runs one E-experiment's workload under
+  the profiler instead of the pytest-benchmark timer.
+
+Both therefore produce the *same* report shape — top-N functions by
+cumulative (or internal) time — so a CLI profile and a bench profile
+of the same workload are directly comparable.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable
+
+#: rows shown by default — enough to reach past the event-loop
+#: machinery into the per-message handler costs
+DEFAULT_TOP = 20
+
+#: accepted ``sort`` values (pstats sort keys)
+SORT_KEYS = ("cumulative", "tottime")
+
+
+def profile_call(fn: Callable[[], Any], *, top: int = DEFAULT_TOP,
+                 sort: str = "cumulative") -> tuple[Any, str]:
+    """Run ``fn`` under cProfile; return ``(result, report_text)``.
+
+    The report is the ``pstats`` table of the ``top`` functions by
+    ``sort`` order ("cumulative" or "tottime"), with file paths
+    stripped to their trailing components.
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, not {sort!r}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buffer.getvalue()
+
+
+def print_profile(report: str) -> None:
+    """Print a :func:`profile_call` report with a separating rule."""
+    print("-" * 72)
+    print(report.rstrip())

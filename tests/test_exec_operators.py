@@ -117,18 +117,52 @@ class _Sink(Operator):
         self.closes = 0
 
     def on_batch(self, batch, slot):
-        self.batches.append((list(batch.rows), batch.source))
+        self.batches.append((batch.tuples(), batch.source))
 
     def on_finish(self):
         self.closes += 1
 
 
+def _ints(*values):
+    """A one-column test batch of integer rows."""
+    return Batch.from_tuples((X,), [(v,) for v in values])
+
+
+class TestBatch:
+    def test_from_bindings_derives_schema(self):
+        batch = Batch.from_bindings([{X: URI("a"), Y: Literal("v")},
+                                     {X: URI("b"), Y: Literal("w")}])
+        assert batch.schema == (X, Y)
+        assert batch.count == 2
+        assert batch.tuples() == [(URI("a"), Literal("v")),
+                                  (URI("b"), Literal("w"))]
+        assert batch.columns() == ([URI("a"), URI("b")],
+                                   [Literal("v"), Literal("w")])
+
+    def test_to_bindings_round_trip(self):
+        rows = [{X: URI("a"), Y: Literal("v")}]
+        assert Batch.from_bindings(rows).to_bindings() == rows
+
+    def test_unit_relation_vs_empty(self):
+        unit = Batch((), count=1)
+        empty = Batch((), tuples=[])
+        assert unit.count == 1 and unit.tuples() == [()]
+        assert empty.count == 0 and empty.tuples() == []
+
+    def test_renamed_shares_storage(self):
+        batch = Batch.from_bindings([{X: URI("a")}])
+        renamed = batch.renamed({X: Z})
+        assert renamed.schema == (Z,)
+        assert renamed.tuples() is batch.tuples()
+        assert batch.renamed({}) is batch
+
+
 class TestStreamMechanics:
     def test_passthrough_and_close_propagation(self):
         src, sink = chain(Union("src"), _Sink())
-        src.emit([1, 2], None)
+        src.emit(_ints(1, 2))
         src.close()
-        assert sink.batches == [([1, 2], None)]
+        assert sink.batches == [([(1,), (2,)], None)]
         assert sink.closes == 1 and sink.closed
 
     def test_multi_input_close_barrier(self):
@@ -145,13 +179,13 @@ class TestStreamMechanics:
         a.connect(sink)
         sink._input_closed(0)  # force-close via the only input
         b.connect(sink)
-        b.emit([1, 2, 3], None)
+        b.emit(_ints(1, 2, 3))
         assert sink.batches == []
         assert sink.stats.rows_dropped == 3
 
     def test_stats_count_rows(self):
         src, sink = chain(Union("src"), _Sink())
-        src.emit([1, 2, 3], None)
+        src.emit(_ints(1, 2, 3))
         assert src.stats.rows_out == 3
         assert sink.stats.rows_in == 3
 
@@ -161,54 +195,65 @@ QUERY = ConjunctiveQuery([PATTERN], [X])
 
 
 class TestProjectDedupLimit:
-    def test_project_tags_source_and_filters_partial(self):
+    def test_project_slices_columns_and_tags_source(self):
         project, sink = chain(Project(QUERY), _Sink())
-        project._receive(Batch([{X: URI("a"), Y: Literal("v")},
-                                {Y: Literal("w")}]), 0)
+        project._receive(Batch.from_bindings(
+            [{X: URI("a"), Y: Literal("v")},
+             {X: URI("b"), Y: Literal("w")}]), 0)
         rows, source = sink.batches[0]
-        assert rows == [(URI("a"),)]
+        assert rows == [(URI("a"),), (URI("b"),)]
         assert source == QUERY
+
+    def test_project_missing_variable_emits_empty(self):
+        project, sink = chain(Project(QUERY), _Sink())
+        project._receive(Batch.from_bindings([{Y: Literal("w")}]), 0)
+        rows, source = sink.batches[0]
+        assert rows == []
+        assert source == QUERY
+        assert project.stats.rows_out == 0
+        assert project.stats.batches_out == 1
 
     def test_dedup_across_batches(self):
         dedup, sink = chain(Dedup(), _Sink())
-        dedup._receive(Batch([1, 2, 1]), 0)
-        dedup._receive(Batch([2, 3]), 0)
-        assert [rows for rows, _ in sink.batches] == [[1, 2], [3]]
+        dedup._receive(_ints(1, 2, 1), 0)
+        dedup._receive(_ints(2, 3), 0)
+        assert [rows for rows, _ in sink.batches] == \
+            [[(1,), (2,)], [(3,)]]
 
     def test_limit_truncates_and_fires_once(self):
         fired = []
         limit = Limit(3, on_satisfied=lambda: fired.append(1))
         sink = _Sink()
         limit.connect(sink)
-        limit._receive(Batch([1, 2]), 0)
-        limit._receive(Batch([3, 4, 5]), 0)
-        limit._receive(Batch([6]), 0)
+        limit._receive(_ints(1, 2), 0)
+        limit._receive(_ints(3, 4, 5), 0)
+        limit._receive(_ints(6), 0)
         emitted = [row for rows, _ in sink.batches for row in rows]
-        assert emitted == [1, 2, 3]
+        assert emitted == [(1,), (2,), (3,)]
         assert fired == [1]
         assert limit.satisfied
         assert limit.stats.rows_dropped == 3  # 4, 5 truncated + 6 late
 
     def test_limit_separates_overshoot_from_late_rows(self):
         limit, sink = chain(Limit(2), _Sink())
-        limit._receive(Batch([1, 2, 3]), 0)   # overshoot: 3 truncated
+        limit._receive(_ints(1, 2, 3), 0)     # overshoot: 3 truncated
         assert limit.satisfied
         assert limit.stats.rows_dropped == 1
         assert limit.late_rows == 0           # nothing arrived late yet
-        limit._receive(Batch([4, 5]), 0)      # true late arrivals
+        limit._receive(_ints(4, 5), 0)        # true late arrivals
         assert limit.late_rows == 2
         assert limit.stats.rows_dropped == 3
 
     def test_limit_duplicates_do_not_count(self):
         limit, sink = chain(Limit(2), _Sink())
-        limit._receive(Batch([1, 1, 1]), 0)
+        limit._receive(_ints(1, 1, 1), 0)
         assert not limit.satisfied
-        limit._receive(Batch([2]), 0)
+        limit._receive(_ints(2), 0)
         assert limit.satisfied
 
     def test_limit_none_passes_through(self):
         limit, sink = chain(Limit(None), _Sink())
-        limit._receive(Batch(list(range(100))), 0)
+        limit._receive(_ints(*range(100)), 0)
         assert not limit.satisfied
         assert sink.stats.rows_in == 100
 
