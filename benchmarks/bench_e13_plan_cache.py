@@ -85,17 +85,21 @@ def test_e13_plan_cache_and_batching(benchmark, scale):
         def run_batched():
             net = build_corpus()
             batched = net.create_engine(domain="e13")
-            return batched, batched.execute_batch(queries)
+            return net, batched, batched.execute_batch(queries)
 
         cold, walls["cold"] = measure(run_cold)
         (warm, sequential_messages), walls["warm"] = measure(run_warm)
-        (batched, result), walls["batched"] = measure(run_batched)
+        (net, batched, result), walls["batched"] = measure(run_batched)
+        # Unified-registry snapshot of the batched deployment: network
+        # counters + engine view, all deterministic simulation counts
+        # (the perf gate compares them exactly).
+        metrics = net.registry.snapshot()
         return (cold.stats.snapshot(), warm.stats.snapshot(),
                 batched.stats.snapshot(), sequential_messages, result,
-                walls)
+                metrics, walls)
 
-    cold, warm, batched, sequential_messages, result, walls = run_once(
-        benchmark, run)
+    (cold, warm, batched, sequential_messages, result, metrics,
+     walls) = run_once(benchmark, run)
     report("E13", f"workload: {len(queries)} queries "
                   f"({len(workload(1))} distinct shapes x {repeats})")
     report("E13", f"{'engine':>8} | {'planner runs':>12} "
@@ -108,7 +112,7 @@ def test_e13_plan_cache_and_batching(benchmark, scale):
                   f"batched {batched['messages']}; pattern lookups "
                   f"{result.patterns_total} -> {result.patterns_fetched} "
                   f"({result.lookups_saved} saved by dedup)")
-    record("E13", scale=scale, runs=[
+    record("E13", scale=scale, metrics=metrics, runs=[
         {"mode": "cold", "wall_clock_s": round(walls["cold"], 3),
          "rows": len(queries),
          "planner_invocations": cold["planner_invocations"],

@@ -57,7 +57,7 @@ def build_corpus(num_schemas, entries_per_schema, seed):
 
 
 def run_pair(mode, num_schemas, entries_per_schema, seed):
-    """(unlimited outcome, limited outcome) on twin deployments."""
+    """(unlimited, limited, limited-run net) on twin deployments."""
     outcomes = []
     for limit in (None, LIMIT):
         net = build_corpus(num_schemas, entries_per_schema, seed)
@@ -70,7 +70,7 @@ def run_pair(mode, num_schemas, entries_per_schema, seed):
             outcomes.append(net.search_for(QUERY, strategy=mode,
                                            max_hops=8, origin=origin,
                                            limit=limit))
-    return outcomes
+    return outcomes[0], outcomes[1], net
 
 
 def test_e15_limit_pushdown(benchmark, scale):
@@ -80,16 +80,21 @@ def test_e15_limit_pushdown(benchmark, scale):
 
     def run():
         series = []
+        metrics = None
         for seed in seeds:
             for mode in ("iterative", "engine"):
-                unlimited, limited = run_pair(mode, num_schemas,
-                                              entries, seed)
+                unlimited, limited, net = run_pair(mode, num_schemas,
+                                                   entries, seed)
                 series.append((seed, mode, unlimited, limited))
-        return series
+                # Registry snapshot of the last limited deployment
+                # (deterministic simulation counters; engine view on
+                # engine-mode runs).
+                metrics = net.registry.snapshot()
+        return series, metrics
 
-    series, wall = measure(lambda: run_once(benchmark, run))
+    (series, metrics), wall = measure(lambda: run_once(benchmark, run))
     record("E15", scale=scale, totals={"wall_clock_s": round(wall, 3)},
-           runs=[
+           metrics=metrics, runs=[
                {
                    "seed": seed,
                    "mode": mode,

@@ -1,0 +1,150 @@
+"""Observability smoke: E13 trace shapes vs committed expectations.
+
+Runs the E13 workload's distinct query shapes over the real E13
+corpus (``bench_e13_plan_cache.build_corpus``) with tracing enabled
+and compares the resulting trace shapes — span counts, message-span
+counts, peers touched — against the committed
+``benchmarks/OBS_E13.json``.  The simulation is deterministic, so the
+comparison is exact: a count drift means the tracer hooks moved
+relative to the metrics attribution gates (or query execution itself
+changed), either of which deserves a deliberate baseline re-record.
+
+The script also re-asserts the exact-count invariant inline: every
+trace must be a single connected component whose message spans number
+exactly the messages the metrics plane attributes to that query.
+
+Usage (CI's ``obs-smoke`` job pairs this with the tracing-off golden
+tests, enforcing both halves of the overhead contract in one job)::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py
+
+Shipping an intentional change to trace shapes::
+
+    REPRO_BENCH_WRITE_BASELINE=1 PYTHONPATH=src \
+        python benchmarks/obs_smoke.py
+
+Exit status 0 when the run matches the committed expectations, 1
+otherwise (with a per-trace diff).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+if HERE not in sys.path:
+    sys.path.insert(0, HERE)
+
+from bench_e13_plan_cache import build_corpus, workload  # noqa: E402
+
+from repro.obs.analysis import (  # noqa: E402
+    connected_components,
+    spans_of,
+    trace_ids,
+)
+
+#: the committed expectations file, next to the BENCH_*.json baselines
+BASELINE = os.path.join(HERE, "OBS_E13.json")
+
+
+def run_traced_workload() -> tuple[dict, list[str]]:
+    """(observed payload, invariant violations) for the E13 workload."""
+    net = build_corpus()
+    tracer = net.install_tracer()
+    engine = net.create_engine(domain="e13")
+    outcomes = [engine.search_for(query) for query in workload(1)]
+    records = net.trace_records()
+    traces = trace_ids(records)
+
+    problems: list[str] = []
+    if tracer.dropped:
+        problems.append(f"tracer dropped {tracer.dropped} record(s)")
+    if len(traces) != len(outcomes):
+        problems.append(f"{len(outcomes)} queries produced "
+                        f"{len(traces)} trace(s)")
+
+    payload: dict = {
+        "experiment": "E13-obs",
+        "queries": len(outcomes),
+        "records": len(records),
+        "traces": [],
+    }
+    for trace, outcome in zip(traces, outcomes):
+        spans = spans_of(records, trace)
+        message_spans = [s for s in spans if s["kind"] == "message"]
+        # The acceptance invariant: one connected trace whose message
+        # spans cover every message attributed to the query's op tag.
+        if connected_components(spans) != 1:
+            problems.append(f"{trace}: trace is not connected")
+        if len(message_spans) != outcome.messages:
+            problems.append(
+                f"{trace}: {len(message_spans)} message span(s) vs "
+                f"{outcome.messages} attributed message(s)")
+        payload["traces"].append({
+            "trace": trace,
+            "spans": len(spans),
+            "messages": len(message_spans),
+            "peers": len({s["peer"] for s in spans}),
+        })
+    return payload, problems
+
+
+def diff(expected: dict, observed: dict) -> list[str]:
+    """Human-readable field-level differences (empty when equal)."""
+    lines: list[str] = []
+    for field in ("queries", "records"):
+        if expected.get(field) != observed.get(field):
+            lines.append(f"{field}: expected {expected.get(field)}, "
+                         f"observed {observed.get(field)}")
+    want = {t["trace"]: t for t in expected.get("traces", [])}
+    have = {t["trace"]: t for t in observed.get("traces", [])}
+    for trace in sorted(want.keys() | have.keys()):
+        if trace not in have:
+            lines.append(f"{trace}: expected but missing from the run")
+        elif trace not in want:
+            lines.append(f"{trace}: produced but not in expectations")
+        elif want[trace] != have[trace]:
+            lines.append(f"{trace}: expected {want[trace]}, "
+                         f"observed {have[trace]}")
+    return lines
+
+
+def main() -> int:
+    observed, problems = run_traced_workload()
+    for problem in problems:
+        print(f"obs-smoke: INVARIANT {problem}")
+    if problems:
+        return 1
+
+    if os.environ.get("REPRO_BENCH_WRITE_BASELINE") == "1":
+        with open(BASELINE, "w", encoding="utf-8") as handle:
+            json.dump(observed, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"obs-smoke: wrote {len(observed['traces'])} trace "
+              f"expectation(s) -> {BASELINE}")
+        return 0
+
+    try:
+        with open(BASELINE, encoding="utf-8") as handle:
+            expected = json.load(handle)
+    except FileNotFoundError:
+        print(f"obs-smoke: no committed expectations at {BASELINE}; "
+              f"record them with REPRO_BENCH_WRITE_BASELINE=1")
+        return 1
+
+    lines = diff(expected, observed)
+    for line in lines:
+        print(f"obs-smoke: DIFF {line}")
+    if lines:
+        print("obs-smoke: failed (an intentional trace-shape change "
+              "re-records with REPRO_BENCH_WRITE_BASELINE=1)")
+        return 1
+    print(f"obs-smoke: {len(observed['traces'])} trace(s), "
+          f"{observed['records']} record(s) — all expectations match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

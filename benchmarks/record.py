@@ -59,13 +59,18 @@ def measure(fn: Callable[[], Any]) -> tuple[Any, float]:
 
 def record(experiment: str, *, scale: str, runs: list[dict],
            totals: dict | None = None,
+           metrics: dict | None = None,
            directory: str | None = None) -> str:
     """Write ``BENCH_<experiment>.json`` and return its path.
 
     ``runs`` is one dict per seed/configuration (each should carry at
     least a label plus its wall time / message count / row count);
     ``totals`` merges experiment-level headline numbers into the top
-    level.  Peak RSS and the python version are stamped automatically.
+    level.  ``metrics`` attaches a unified-registry snapshot (see
+    :class:`repro.obs.registry.MetricsRegistry`) under a ``metrics``
+    key — simulation counters only, so the perf gate compares it
+    exactly like any other count field.  Peak RSS and the python
+    version are stamped automatically.
 
     Without an explicit ``directory`` the file goes to
     :func:`record_dir` — the gitignored ``benchmarks/out/`` unless the
@@ -80,6 +85,8 @@ def record(experiment: str, *, scale: str, runs: list[dict],
     }
     if totals:
         payload.update(totals)
+    if metrics is not None:
+        payload["metrics"] = metrics
     payload["runs"] = runs
     target = directory or record_dir()
     os.makedirs(target, exist_ok=True)

@@ -47,6 +47,14 @@ booth:
 
 ``experiments``
     List the E1..E18 benchmark targets and how to run them.
+
+``trace``
+    Analyze a trace written by ``--trace out.jsonl`` (available on
+    ``query``, ``batch``, ``scenario`` and ``chaos run``): per-trace
+    summaries and slowest queries by default, ``--waterfall`` /
+    ``--critical-path`` for one trace's hop-by-hop timeline, and
+    ``--stats`` for per-op-tag message attribution with per-kind
+    splits and drop causes.
 """
 
 from __future__ import annotations
@@ -139,6 +147,20 @@ def _warm_statistics(net, seconds: float, interval: float = 20.0) -> None:
     net.loop.run_until(net.loop.now + 2 * interval)
 
 
+def _maybe_install_tracer(net, args):
+    """Install a span recorder when the command got ``--trace PATH``."""
+    if getattr(args, "trace", None):
+        net.install_tracer()
+
+
+def _maybe_export_trace(net, args) -> None:
+    path = getattr(args, "trace", None)
+    if path:
+        count = net.export_trace(path)
+        print(f"trace    : {count} record(s) -> {path} "
+              f"(inspect with: python -m repro trace {path})")
+
+
 def cmd_demo(args) -> int:
     net, dataset = _deploy(args)
     print(f"{len(dataset.schemas)} schemas, {len(dataset.triples)} "
@@ -178,6 +200,7 @@ def cmd_query(args) -> int:
     controller.run(max_rounds=args.rounds)
     if args.strategy == "auto":
         _warm_statistics(net, seconds=args.warm_stats)
+    _maybe_install_tracer(net, args)
     if args.strategy == "engine":
         engine = net.create_engine(domain=dataset.domain,
                                    max_hops=args.max_hops)
@@ -233,6 +256,7 @@ def cmd_query(args) -> int:
               "randomized attribute names; try predicates like:")
         for predicate in sample:
             print(f"             {predicate}")
+    _maybe_export_trace(net, args)
     return 0
 
 
@@ -242,6 +266,7 @@ def cmd_batch(args) -> int:
         net, domain=dataset.domain,
         policy=CreationPolicy(mappings_per_round=3))
     controller.run(max_rounds=args.rounds)
+    _maybe_install_tracer(net, args)
     engine = net.create_engine(domain=dataset.domain,
                                max_hops=args.max_hops)
     workload = QueryWorkloadGenerator(dataset, seed=args.seed)
@@ -267,6 +292,7 @@ def cmd_batch(args) -> int:
     print(f"engine    : {stats['lookups_saved']} total lookups saved "
           f"(dedup rate {stats['dedup_rate']:.1%}), "
           f"{stats['messages']} messages")
+    _maybe_export_trace(net, args)
     return 0
 
 
@@ -295,9 +321,12 @@ def cmd_scenario(args) -> int:
           f"{spec.mean_downtime:.0f}s, {spec.num_queries} queries "
           f"({spec.strategy}), failover "
           f"{'on' if spec.failover else 'off'}")
-    report = ScenarioRunner.from_spec(spec).run()
+    runner = ScenarioRunner.from_spec(spec)
+    _maybe_install_tracer(runner.network, args)
+    report = runner.run()
     for line in report.summary():
         print(line)
+    _maybe_export_trace(runner.network, args)
     return 0
 
 
@@ -404,7 +433,11 @@ def cmd_chaos(args) -> int:
     # run / replay: one seeded trial (replay is the explicit
     # reproduce-from-printed-seed entry point; both derive everything
     # from the seed alone)
-    trial = explorer.run_trial(args.seed)
+    trace_path = getattr(args, "trace", None)
+    trial = explorer.run_trial(args.seed, trace_path=trace_path)
+    if trace_path:
+        print(f"trace: written to {trace_path} "
+              f"(inspect with: python -m repro trace {trace_path})")
     print(f"seed {args.seed} ({args.intensity}): "
           + ("PASS" if trial.ok else "FAIL"))
     _print_trial(trial, show_plan=True)
@@ -450,6 +483,55 @@ def cmd_scaleout(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import analysis
+
+    try:
+        records = analysis.load_any(args.file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print("trace is empty")
+        return 1
+    if args.waterfall:
+        for line in analysis.waterfall(records, args.waterfall):
+            print(line)
+        return 0
+    if args.critical_path:
+        path = analysis.critical_path(records, args.critical_path)
+        if not path:
+            print(f"trace {args.critical_path!r}: no spans",
+                  file=sys.stderr)
+            return 2
+        print(f"critical path of {args.critical_path} "
+              f"({len(path)} span(s)):")
+        for line in analysis.critical_path_lines(path):
+            print(line)
+        return 0
+    if args.stats:
+        print("per-operation message attribution "
+              "(trace id == op tag):")
+        for line in analysis.format_stats(
+                analysis.attribution_stats(records)):
+            print("  " + line)
+        return 0
+    summaries = analysis.trace_summaries(records)
+    print(f"{len(summaries)} trace(s), {len(records)} record(s):")
+    for line in analysis.summary_lines(summaries):
+        print("  " + line)
+    slowest = analysis.top_slowest(records, k=args.top)
+    if len(summaries) > 1:
+        print(f"slowest {len(slowest)}:")
+        for line in analysis.summary_lines(slowest):
+            print("  " + line)
+    if summaries:
+        print("drill down with: --waterfall "
+              f"{slowest[0]['trace']} | --critical-path "
+              f"{slowest[0]['trace']} | --stats")
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     print("experiment benchmarks (see EXPERIMENTS.md for recorded "
           "paper-vs-measured results):\n")
@@ -459,6 +541,14 @@ def cmd_experiments(_args) -> int:
     print("full scale: REPRO_BENCH_SCALE=full pytest benchmarks/ "
           "--benchmark-only -s")
     return 0
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a causal trace of every query "
+                             "(spans per message/retry/join, fault "
+                             "annotations) and write it as sorted "
+                             "JSONL; analyze with 'repro trace PATH'")
 
 
 def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
@@ -513,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "before an --strategy auto query")
     _add_deploy_args(query)
     _add_profile_arg(query)
+    _add_trace_arg(query)
     query.set_defaults(func=cmd_query)
 
     batch = sub.add_parser(
@@ -526,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reformulation planning depth")
     _add_deploy_args(batch)
     _add_profile_arg(batch)
+    _add_trace_arg(batch)
     batch.set_defaults(func=cmd_batch)
 
     scenario = sub.add_parser(
@@ -557,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable replica-aware failover (A/B "
                                "baseline)")
     _add_profile_arg(scenario)
+    _add_trace_arg(scenario)
     scenario.set_defaults(func=cmd_scenario)
 
     stats = sub.add_parser(
@@ -598,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "invariants")
     chaos_run.add_argument("--seed", type=int, default=0)
     _add_chaos_args(chaos_run)
+    _add_trace_arg(chaos_run)
     chaos_run.set_defaults(func=cmd_chaos)
 
     chaos_explore = chaos_sub.add_parser(
@@ -650,6 +744,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments",
                                  help="list benchmark targets")
     experiments.set_defaults(func=cmd_experiments)
+
+    trace = sub.add_parser(
+        "trace", help="analyze a --trace JSONL export: summaries, "
+                      "waterfalls, critical paths, per-op message "
+                      "attribution")
+    trace.add_argument("file", help="JSONL file written by --trace")
+    trace.add_argument("--waterfall", metavar="TRACE", default=None,
+                       help="render one trace's hop-by-hop timeline")
+    trace.add_argument("--critical-path", metavar="TRACE", default=None,
+                       help="print the span chain bounding one "
+                            "trace's makespan")
+    trace.add_argument("--stats", action="store_true",
+                       help="per-op-tag message attribution with "
+                            "per-kind splits and drop causes")
+    trace.add_argument("--top", type=int, default=5,
+                       help="slowest traces to list in the summary")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

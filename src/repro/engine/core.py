@@ -84,6 +84,12 @@ class EngineStats:
         """Fraction of pattern occurrences served by a shared lookup."""
         return ratio(self.lookups_saved, self.patterns_total)
 
+    def register_into(self, registry, name: str = "engine") -> None:
+        """Expose these counters as a lazily-evaluated view in a
+        :class:`~repro.obs.registry.MetricsRegistry` (the fields stay
+        plain dataclass attributes on the execution path)."""
+        registry.register_view(name, self.snapshot)
+
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for CLI and bench reporting."""
         return {
@@ -279,15 +285,38 @@ class QueryEngine:
         # running in the background.
         op_tag = f"batch:{next(self.network._op_tags)}"
         metrics.begin_operation(op_tag)
+        transport = self.network.network
+        tracer = transport.tracer
+        root = None
+        if tracer is not None:
+            # Root span of the batch's trace.  trace_id == op_tag, so
+            # the trace's message spans correspond 1:1 with the
+            # messages the metrics attribute to the same tag (the
+            # exact-coverage invariant the obs tests pin).  The root
+            # wraps only the synchronous kickoff below — exactly the
+            # op_tag scope — so concurrent background traffic stays
+            # outside the trace.
+            root = tracer.start_trace(op_tag, op_tag, peer=peer.node_id,
+                                      start=transport.loop.now,
+                                      queries=len(parsed))
         try:
-            with self.network.network.operation(op_tag):
-                batch_future = execute_batch(peer, parsed, plans,
-                                             limit=limit,
-                                             optimizer=optimizer)
+            with transport.operation(op_tag):
+                if root is not None:
+                    with tracer.activate(tracer.context_of(root)):
+                        batch_future = execute_batch(peer, parsed, plans,
+                                                     limit=limit,
+                                                     optimizer=optimizer)
+                else:
+                    batch_future = execute_batch(peer, parsed, plans,
+                                                 limit=limit,
+                                                 optimizer=optimizer)
             outcomes, fetch_stats = self.network.loop.run_until_complete(
                 batch_future
             )
             messages = metrics.operation_messages(op_tag)
+            if root is not None:
+                tracer.finish(root, transport.loop.now,
+                              messages=messages)
         finally:
             metrics.end_operation(op_tag)
         if len(outcomes) == 1:

@@ -122,12 +122,27 @@ class HashJoin(Operator):
         self._batches_by_slot.setdefault(slot, []).append(batch)
 
     def on_finish(self) -> None:
+        ctx = self.ctx
+        tracer = None
+        if ctx is not None and ctx.peer.network is not None:
+            tracer = ctx.peer.network.tracer
+        span = None
+        if tracer is not None and tracer._stack:
+            # Zero-duration in virtual time (the fold is synchronous);
+            # the span exists for its position in the waterfall and its
+            # row accounting.
+            span = tracer.begin(f"join:{self.name}",
+                                peer=ctx.peer.node_id, kind="join",
+                                start=ctx.now)
         joined = Batch((), count=1)  # the join identity
         for slot in range(self._input_slots):
             joined = join_batches(
                 joined, _concat_batches(self._batches_by_slot.get(slot, [])))
             if not joined.count:
                 break
+        if span is not None:
+            tracer.finish(span, ctx.now, rows=joined.count,
+                          inputs=self._input_slots)
         self.emit(joined)
 
 
@@ -425,14 +440,42 @@ class Reformulate(Operator):
         #: synchronously when the origin owns the key)
         self._starting = False
         self._ctx: PipelineContext | None = None
+        #: open reformulation span (traced runs only)
+        self._span = None
 
     def start(self, ctx: PipelineContext) -> None:
         self._ctx = ctx
-        self._starting = True
-        self._spawn_subplan(ctx, self.query)
-        self._register(self.query, 0)
-        self._starting = False
+        tracer = (ctx.peer.network.tracer
+                  if ctx.peer.network is not None else None)
+        if tracer is not None and tracer._stack:
+            # The reformulation span covers the whole BFS: schema-space
+            # fetches issued from here carry its context, so translated
+            # subplans hang under it in the waterfall.
+            self._span = tracer.begin("reformulate",
+                                      peer=ctx.peer.node_id,
+                                      kind="reformulate", start=ctx.now)
+            with tracer.activate(tracer.context_of(self._span)):
+                self._starting = True
+                self._spawn_subplan(ctx, self.query)
+                self._register(self.query, 0)
+                self._starting = False
+        else:
+            self._starting = True
+            self._spawn_subplan(ctx, self.query)
+            self._register(self.query, 0)
+            self._starting = False
         self._maybe_close()
+
+    def on_finish(self) -> None:
+        if self._span is not None:
+            ctx = self._ctx
+            tracer = (ctx.peer.network.tracer
+                      if ctx is not None and ctx.peer.network is not None
+                      else None)
+            if tracer is not None:
+                tracer.finish(self._span, ctx.now,
+                              translations=len(self.seen) - 1,
+                              pruned=self.pruned)
 
     def _register(self, query: ConjunctiveQuery, hops: int) -> None:
         if hops >= self.max_hops:
@@ -521,6 +564,7 @@ class RecursiveFanout(Operator):
         self.timeout_handle = None
         self.task_id: str | None = None
         self.op_tag: str | None = None
+        self.trace = None
         self._ctx: PipelineContext | None = None
 
     def start(self, ctx: PipelineContext) -> None:
@@ -532,6 +576,12 @@ class RecursiveFanout(Operator):
         #: finish runs outside any delivery scope)
         self.op_tag = (peer.network.current_operation()
                        if peer.network is not None else None)
+        tracer = (peer.network.tracer if peer.network is not None
+                  else None)
+        #: trace context captured at issue time, re-activated around
+        #: the close cascade (mirrors ``op_tag`` above)
+        self.trace = (tracer._stack[-1]
+                      if tracer is not None and tracer._stack else None)
         self.task_id = f"{peer.node_id}:{next(peer._op_ids)}"
         peer._refo_tasks[self.task_id] = self
         self.timeout_handle = peer.loop.schedule(
@@ -592,11 +642,19 @@ class RecursiveFanout(Operator):
         assert ctx is not None
         peer = ctx.peer
         peer._refo_tasks.pop(self.task_id, None)
-        if self.op_tag is not None and peer.network is not None:
-            # Close inside the operation's attribution scope: the
-            # close cascade resolves the query future, whose callbacks
-            # may still send attributable traffic.
-            with peer.network.operation(self.op_tag):
+        tracer = (peer.network.tracer if peer.network is not None
+                  else None)
+        if tracer is not None and self.trace is not None:
+            tracer._stack.append(self.trace)
+        try:
+            if self.op_tag is not None and peer.network is not None:
+                # Close inside the operation's attribution scope: the
+                # close cascade resolves the query future, whose
+                # callbacks may still send attributable traffic.
+                with peer.network.operation(self.op_tag):
+                    self.close()
+            else:
                 self.close()
-        else:
-            self.close()
+        finally:
+            if tracer is not None and self.trace is not None:
+                tracer._stack.pop()

@@ -80,6 +80,16 @@ class OperatorStats:
             "rows_dropped": self.rows_dropped,
         }
 
+    def register_into(self, registry, name: str | None = None) -> None:
+        """Expose these counters as a lazily-evaluated registry view.
+
+        The counters stay plain attributes (the hot path never goes
+        through the registry); the view snapshots them on demand (see
+        :meth:`repro.obs.registry.MetricsRegistry.register_view`).
+        """
+        registry.register_view(name if name is not None
+                               else f"operator:{self.name}", self.snapshot)
+
 
 class Batch:
     """One columnar unit of streamed data: a schema plus value columns.
@@ -193,6 +203,10 @@ class Operator:
     def __init__(self, name: str) -> None:
         self.name = name
         self.stats = OperatorStats(name)
+        #: the pipeline this operator runs in (set by
+        #: :meth:`PipelineContext.register`); lets non-source operators
+        #: (joins) reach the peer/tracer without threading state
+        self.ctx: "PipelineContext | None" = None
         #: outgoing edges: (downstream, transform, downstream slot)
         self._edges: list[tuple["Operator",
                                 Callable[[Batch], Batch] | None, int]] = []
@@ -334,6 +348,7 @@ class PipelineContext:
             if id(op) not in self._registered:
                 self._registered.add(id(op))
                 self.operators.append(op)
+                op.ctx = self
 
     def start_source(self, op: Operator) -> None:
         """Register and start one source operator."""
@@ -354,7 +369,22 @@ class PipelineContext:
             future.set_result([])
             return future
         op.stats.fetches_issued += 1
-        return self.peer._search_pattern(pattern, cancel=self.cancel)
+        network = self.peer.network
+        tracer = network.tracer if network is not None else None
+        if tracer is None or not tracer._stack:
+            return self.peer._search_pattern(pattern, cancel=self.cancel)
+        # Traced fetch: a shared-scan span covers the whole overlay
+        # search this operator kicked off; the span's context is active
+        # during issue so the search's messages parent under it, and it
+        # closes when the search future resolves.
+        span = tracer.begin(f"scan:{op.name}", peer=self.peer.node_id,
+                            kind="scan", start=network.loop._now,
+                            pattern=repr(pattern))
+        with tracer.activate(tracer.context_of(span)):
+            future = self.peer._search_pattern(pattern, cancel=self.cancel)
+        future.add_done_callback(
+            lambda _f: tracer.finish(span, network.loop._now))
+        return future
 
     # -- aggregation ----------------------------------------------------
 

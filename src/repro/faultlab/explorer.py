@@ -277,17 +277,26 @@ class ScenarioExplorer:
     # ------------------------------------------------------------------
 
     def run_trial(self, seed: int,
-                  plan: FaultPlan | None = None) -> Trial:
+                  plan: FaultPlan | None = None,
+                  trace_path: str | None = None) -> Trial:
         """Run one seeded trial: scenario, stabilization, invariants.
 
         ``plan`` overrides the seed-derived schedule (used by the
         shrinker); everything else still derives from ``seed``.
+        ``trace_path`` installs a span recorder before the scenario
+        runs and exports the trial's trace (queries, retries, injected
+        faults) as sorted JSONL afterwards — tracing changes no
+        behaviour, so a traced trial reproduces the untraced one.
         """
         plan = self.plan_for_seed(seed) if plan is None else plan
         spec = replace(self.spec, seed=seed, faults=plan)
         runner = ScenarioRunner.from_spec(spec)
+        if trace_path is not None:
+            runner.network.install_tracer()
         report = runner.run()
         self._stabilize(runner)
+        if trace_path is not None:
+            runner.network.export_trace(trace_path)
         # The cache-coherence invariant audits the cache the workload
         # actually exercised (an "engine"-strategy run, whose cached
         # plans lived through every mapping event and fault).  Other

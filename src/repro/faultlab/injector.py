@@ -224,7 +224,7 @@ class FaultInjector:
                 if rng.random() < clause.probability:
                     delay += rng.uniform(clause.jitter_min,
                                          clause.jitter_max)
-                    self._record("delay", message.kind)
+                    self._record("delay", message.kind, message)
         # Duplicates fire before any reorder hold, so stacking the two
         # clause kinds behaves as advertised: the copies travel
         # normally even when the original is held back.
@@ -233,14 +233,14 @@ class FaultInjector:
                 rng = self._rngs[index]
                 if rng.random() < clause.probability:
                     for _copy in range(clause.copies):
-                        self._record("duplicate", message.kind)
+                        self._record("duplicate", message.kind, message)
                         loop.schedule(delay + rng.uniform(0.0, clause.spread),
                                       deliver, self._clone(message))
         link = (message.src, message.dst)
         for index, clause in self._reorders:
             if clause.matches(message, now):
                 if self._rngs[index].random() < clause.probability:
-                    self._record("reorder", message.kind)
+                    self._record("reorder", message.kind, message)
                     self._hold(link, message, delay, clause.hold_max)
                     return
         loop.schedule(delay, deliver, message)
@@ -291,14 +291,25 @@ class FaultInjector:
     # Accounting
     # ------------------------------------------------------------------
 
-    def _record(self, action: str, kind: str) -> None:
+    def _record(self, action: str, kind: str,
+                message: Message | None = None) -> None:
         self.injected[action] = self.injected.get(action, 0) + 1
         self.transport.metrics.record_fault(action, kind)
+        if message is not None and message.trace is not None:
+            tracer = self.transport.tracer
+            if tracer is not None:
+                # Annotate the trace with *why* a hop stalled or
+                # vanished: the event parents under the message's
+                # current context (the sender span for pre-send drops,
+                # the hop span for post-send delay/duplicate/reorder).
+                tracer.event(f"fault:{action}", peer=message.src,
+                             time=self.transport.loop.now,
+                             context=message.trace, kind=kind)
 
     def _clone(self, message: Message) -> Message:
         """A duplicate delivery: same content, independent payload dict
         (handlers that copy-and-mutate payloads must not alias)."""
-        return Message(
+        copy = Message(
             kind=message.kind,
             src=message.src,
             dst=message.dst,
@@ -307,3 +318,8 @@ class FaultInjector:
             sent_at=message.sent_at,
             op_tag=message.op_tag,
         )
+        # The clone stays on the original's causal chain: its delivery
+        # re-activates the same hop span, so duplicated replies still
+        # attribute their downstream sends to the right trace.
+        copy.trace = message.trace
+        return copy

@@ -57,6 +57,8 @@ class GridVineNetwork:
         self.refs_per_level = refs_per_level
         #: monotonically increasing suffix for attribution tags
         self._op_tags = itertools.count()
+        #: lazily-built unified metrics registry (see :attr:`registry`)
+        self._registry = None
         #: deployment-wide mapping-event listeners ``fn(action,
         #: mapping)``; every peer's issuing-path hook relays here so a
         #: :class:`~repro.engine.core.QueryEngine` sees mutations from
@@ -218,9 +220,18 @@ class GridVineNetwork:
         scan ordering from propagated statistics.
         """
         from repro.engine.core import QueryEngine
-        return QueryEngine(self, domain=domain, max_hops=max_hops,
-                           cache_capacity=cache_capacity,
-                           optimize=optimize)
+        engine = QueryEngine(self, domain=domain, max_hops=max_hops,
+                             cache_capacity=cache_capacity,
+                             optimize=optimize)
+        registry = self.registry
+        name = "engine"
+        if name in registry.view_names():
+            index = 2
+            while f"engine:{index}" in registry.view_names():
+                index += 1
+            name = f"engine:{index}"
+        engine.stats.register_into(registry, name)
+        return engine
 
     # ------------------------------------------------------------------
     # Synchronous mediation operations
@@ -356,6 +367,18 @@ class GridVineNetwork:
         op_tag = f"searchfor:{next(self._op_tags)}"
         metrics = self.network.metrics
         metrics.begin_operation(op_tag)
+        tracer = self.network.tracer
+        root = None
+        if tracer is not None:
+            # One trace per query, trace_id == op_tag: the trace's
+            # message spans cover exactly the messages the metrics
+            # attribute to the same tag.  The root wraps only the
+            # synchronous kickoff, the same discipline as the
+            # attribution scope below.
+            root = tracer.start_trace(op_tag, op_tag,
+                                      peer=origin_peer.node_id,
+                                      start=self.network.loop.now,
+                                      strategy=strategy)
         try:
             # The synchronous kickoff runs inside the attribution
             # scope; every asynchronous continuation inherits the tag
@@ -363,12 +386,22 @@ class GridVineNetwork:
             # maintenance / churn / replication traffic is never
             # billed to this query.
             with self.network.operation(op_tag):
-                future = origin_peer.search_for(
-                    query, strategy=strategy, max_hops=max_hops,
-                    limit=limit,
-                )
+                if root is not None:
+                    with tracer.activate(tracer.context_of(root)):
+                        future = origin_peer.search_for(
+                            query, strategy=strategy, max_hops=max_hops,
+                            limit=limit,
+                        )
+                else:
+                    future = origin_peer.search_for(
+                        query, strategy=strategy, max_hops=max_hops,
+                        limit=limit,
+                    )
             outcome = self._run(future)
             outcome.messages = metrics.operation_messages(op_tag)
+            if root is not None:
+                tracer.finish(root, self.network.loop.now,
+                              messages=outcome.messages)
             return outcome
         finally:
             metrics.end_operation(op_tag)
@@ -428,3 +461,51 @@ class GridVineNetwork:
     def metrics_snapshot(self) -> dict:
         """Network counters, for bench reporting."""
         return self.network.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # Observability (see repro.obs)
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self):
+        """The deployment's unified metrics registry (lazily built).
+
+        The transport's :class:`~repro.simnet.metrics.NetworkMetrics`
+        is registered as the ``network`` view on first access; engines
+        created via :meth:`create_engine` add ``engine`` views.  Views
+        snapshot the live stat bags on demand — nothing on the message
+        path changes.
+        """
+        registry = self._registry
+        if registry is None:
+            from repro.obs.registry import MetricsRegistry
+            registry = self._registry = MetricsRegistry()
+            self.network.metrics.register_into(registry)
+        return registry
+
+    def install_tracer(self, seed: int = 0, capacity: int = 200_000):
+        """Install a span recorder on the transport and return it.
+
+        Every query issued afterwards produces one causal trace (root
+        span per ``search_for`` / engine batch, hop span per attributed
+        message).  The tracer also appears as the ``tracer`` registry
+        view so snapshots report buffer occupancy.
+        """
+        from repro.obs.tracer import Tracer
+        tracer = Tracer(seed=seed, capacity=capacity)
+        self.network.install_tracer(tracer)
+        self.registry.register_view("tracer", tracer.snapshot)
+        return tracer
+
+    def trace_records(self) -> list[dict]:
+        """All recorded span/event dicts in deterministic order."""
+        tracer = self.network.tracer
+        if tracer is None:
+            return []
+        from repro.obs.tracer import merge_records
+        return merge_records([tracer.records])
+
+    def export_trace(self, path: str) -> int:
+        """Write recorded spans/events as sorted JSONL; returns count."""
+        from repro.obs.tracer import export_records_jsonl
+        return export_records_jsonl(self.trace_records(), path)

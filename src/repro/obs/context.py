@@ -1,0 +1,48 @@
+"""Trace identity: deterministic span ids and the context tuple.
+
+A *trace context* is the pair ``(trace_id, span_id)`` — the trace a
+piece of work belongs to and the span that caused it.  Contexts ride
+on :class:`~repro.simnet.network.Message` envelopes as plain tuples
+(picklable, so sharded transports ship them across process boundaries
+unchanged) and on the tracer's activation stack for synchronous work.
+
+Span ids are **derived, never drawn**: :func:`derive_span_id` is a
+pure function of ``(trace seed, peer, per-peer sequence number)``.
+Because each peer's event order is deterministic under a fixed seed
+(the property the transport golden tests pin), the ids — and therefore
+whole traces — are bit-identical across runs and across
+:class:`~repro.simnet.shard.ShardedTransport` shard counts: sharding
+changes *which tracer* numbers a peer's spans, not the numbers
+themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import NamedTuple
+
+
+class TraceContext(NamedTuple):
+    """One causal position inside a trace.
+
+    ``parent_id`` is ``None`` for a trace's root span.  The tuple
+    degrades to plain data everywhere it travels — message envelopes
+    carry ``(trace_id, span_id)`` pairs and re-derive the rest.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+
+def derive_span_id(seed: int, peer: str, seq: int) -> str:
+    """Deterministic span id from ``(trace seed, peer, sequence)``.
+
+    The readable ``peer.seq`` prefix keeps waterfalls greppable; the
+    blake2s suffix binds the id to the trace seed so spans from runs
+    with different seeds can never be confused for one another.
+    """
+    digest = hashlib.blake2s(
+        f"{seed}|{peer}|{seq}".encode(), digest_size=4
+    ).hexdigest()
+    return f"{peer}.{seq}.{digest}"

@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.registry import FailoverCounters
 from repro.simnet.events import Future, SimulationError
 from repro.simnet.network import Message, Node
 from repro.stats.gossip import PIGGYBACK_BUDGET, PULL_BUDGET
@@ -71,7 +72,7 @@ class _Pending:
 
     __slots__ = ("future", "key", "op", "value", "issued_at", "attempts",
                  "timeout_handle", "extra", "op_tag", "tried_hops",
-                 "cancel")
+                 "cancel", "trace", "span", "attempt_span")
 
     def __init__(self, future: Future, key: Key, op: str, value: Any,
                  issued_at: float, op_tag: str | None = None,
@@ -96,6 +97,14 @@ class _Pending:
         #: token stops timeout retries and resolves the operation
         #: immediately
         self.cancel = cancel
+        #: trace context of the pending-op span (``None`` when the op
+        #: was issued with no trace active); timeout-driven retries and
+        #: resolution callbacks re-activate it, mirroring ``op_tag``
+        self.trace: Any = None
+        #: open span records (see :class:`repro.obs.tracer.Tracer`):
+        #: the op umbrella and the current routing attempt under it
+        self.span: Any = None
+        self.attempt_span: Any = None
 
 
 class PGridPeer(Node):
@@ -151,9 +160,11 @@ class PGridPeer(Node):
         #: skipped in favour of an alternate replica, ``retries`` the
         #: timeout-driven re-attempts, ``gave_up`` the operations that
         #: exhausted every attempt, ``cancelled`` the ones torn down by
-        #: cooperative cancellation (limit pushdown) before completing
-        self.failover_stats = {"failovers": 0, "retries": 0, "gave_up": 0,
-                               "cancelled": 0}
+        #: cooperative cancellation (limit pushdown) before completing.
+        #: A typed counter group; the historical ``failover_stats``
+        #: attribute is a view onto it with the full dict read/write
+        #: vocabulary (see :class:`repro.obs.registry.CounterGroup`).
+        self._failover = FailoverCounters()
         #: level -> list of node ids covering the complementary subtree
         self.routing_table: list[list[str]] = [[] for _ in range(len(path))]
         #: replica group sigma(p): other peers with the same path
@@ -203,6 +214,18 @@ class PGridPeer(Node):
         self.register_handler("refs_request", self._handle_refs_request)
         self.register_handler("refs_reply", self._handle_refs_reply)
         self.register_handler("sync_push", self._handle_sync_push)
+
+    @property
+    def failover_stats(self) -> FailoverCounters:
+        """Failover counters, dict-compatible for historical readers.
+
+        The counters live as plain attributes on a
+        :class:`~repro.obs.registry.FailoverCounters` group (attribute
+        increments on the hot path); this view keeps every existing
+        ``peer.failover_stats["retries"]``-style read *and* write
+        working unchanged.
+        """
+        return self._failover
 
     # ------------------------------------------------------------------
     # Statistics dissemination (see repro.stats.gossip)
@@ -351,6 +374,16 @@ class PGridPeer(Node):
             op_tag=op_stack[-1] if op_stack else None,
             cancel=cancel,
         )
+        tracer = network.tracer
+        if tracer is not None and tracer._stack:
+            # Pending-op span: the origin-side umbrella every routing
+            # attempt parents under.  Opened only when a trace is
+            # already active (same rule as op_tag inheritance), so
+            # untraced issues pay one attribute load and a check.
+            span = tracer.begin(f"op:{op}", peer=self.node_id, kind="op",
+                                start=network.loop._now)
+            pending.span = span
+            pending.trace = tracer.context_of(span)
         self._pending[op_id] = pending
         if cancel is not None:
             cancel.on_cancel(lambda: self._cancel_op(op_id))
@@ -371,7 +404,8 @@ class PGridPeer(Node):
             return  # already completed (or timed out) normally
         if pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
-        self.failover_stats["cancelled"] += 1
+        self._failover.cancelled += 1
+        self._finish_op_spans(pending, "cancelled")
         result = OpResult(
             key=pending.key,
             success=False,
@@ -379,11 +413,48 @@ class PGridPeer(Node):
             latency=self.loop.now - pending.issued_at,
             attempts=pending.attempts,
         )
-        if pending.op_tag is not None and self.network is not None:
-            with self.network.operation(pending.op_tag):
+        self._resolve_pending(pending, result)
+
+    def _finish_op_spans(self, pending: _Pending, status: str) -> None:
+        """Close the op span (and any open attempt span) of ``pending``.
+
+        The attempt inherits the op's terminal status except on
+        success, where :meth:`_complete` already closed it as ``ok``
+        (``Tracer.finish`` is idempotent either way).
+        """
+        network = self.network
+        tracer = network.tracer if network is not None else None
+        if tracer is None or pending.span is None:
+            return
+        now = network.loop._now
+        if pending.attempt_span is not None:
+            tracer.finish(pending.attempt_span, now, status=status)
+        tracer.finish(pending.span, now, status=status,
+                      attempts=pending.attempts)
+
+    def _resolve_pending(self, pending: _Pending, result: OpResult) -> None:
+        """Resolve a pending future inside the op's attribution scope.
+
+        Timeout/cancel resolution fires outside any delivery scope, but
+        the future's callbacks may still send attributable traffic
+        (e.g. the next pattern of a bound join) — re-open the op_tag
+        scope and, when traced, the op-span context so that traffic is
+        billed and parented to the operation.
+        """
+        network = self.network
+        tracer = network.tracer if network is not None else None
+        trace = pending.trace
+        if tracer is not None and trace is not None:
+            tracer._stack.append(trace)
+        try:
+            if pending.op_tag is not None and network is not None:
+                with network.operation(pending.op_tag):
+                    pending.future.set_result(result)
+            else:
                 pending.future.set_result(result)
-        else:
-            pending.future.set_result(result)
+        finally:
+            if tracer is not None and trace is not None:
+                tracer._stack.pop()
 
     def _attempt(self, op_id: str) -> None:
         """(Re)issue the routing step for a pending operation."""
@@ -411,11 +482,31 @@ class PGridPeer(Node):
             payload=payload,
             hops=0,
         )
+        tracer = self.network.tracer
+        attempt_ctx = None
+        if tracer is not None and pending.trace is not None:
+            # One span per routing attempt: a retry shows up as a
+            # sibling of the failed attempt under the same op span, the
+            # failed one keeping its ``timeout`` status next to the
+            # retry that superseded it.
+            attempt = tracer.begin(
+                f"attempt:{pending.attempts}", peer=self.node_id,
+                kind="attempt", start=self.network.loop._now,
+                context=pending.trace)
+            pending.attempt_span = attempt
+            attempt_ctx = tracer.context_of(attempt)
         if pending.op_tag is not None and self.network is not None:
             # Timeout-driven retries fire outside any delivery scope;
-            # re-open the operation's scope so the retry's messages are
-            # attributed to it.
+            # re-open the operation's scope (and the attempt's trace
+            # context) so the retry's messages are attributed to it.
             with self.network.operation(pending.op_tag):
+                if attempt_ctx is not None:
+                    with tracer.activate(attempt_ctx):
+                        self._handle_route(message)
+                else:
+                    self._handle_route(message)
+        elif attempt_ctx is not None:
+            with tracer.activate(attempt_ctx):
                 self._handle_route(message)
         else:
             self._handle_route(message)
@@ -436,16 +527,25 @@ class PGridPeer(Node):
         pending = self._pending.get(op_id)
         if pending is None:
             return
+        tracer = (self.network.tracer if self.network is not None
+                  else None)
+        if tracer is not None and pending.attempt_span is not None:
+            # The attempt that just expired: closed here so a dropped-
+            # then-retried route reads as ``attempt:1 timeout`` next to
+            # its sibling ``attempt:2``.
+            tracer.finish(pending.attempt_span, self.network.loop._now,
+                          status="timeout")
         budget = self.max_retries + 1
         if self.failover and self._untried_alternates(pending):
             budget += self.failover_retries
         if pending.attempts < budget:
             pending.attempts += 1
-            self.failover_stats["retries"] += 1
+            self._failover.retries += 1
             self._attempt(op_id)
             return
         del self._pending[op_id]
-        self.failover_stats["gave_up"] += 1
+        self._failover.gave_up += 1
+        self._finish_op_spans(pending, "gave_up")
         result = OpResult(
             key=pending.key,
             success=False,
@@ -456,11 +556,7 @@ class PGridPeer(Node):
         # Resolve inside the operation's attribution scope: the
         # failure callback may issue follow-up traffic (e.g. the next
         # pattern of a bound join) that still belongs to the op.
-        if pending.op_tag is not None and self.network is not None:
-            with self.network.operation(pending.op_tag):
-                pending.future.set_result(result)
-        else:
-            pending.future.set_result(result)
+        self._resolve_pending(pending, result)
 
     # ------------------------------------------------------------------
     # Message handling
@@ -569,9 +665,18 @@ class PGridPeer(Node):
             # (the avoid fallback re-offered a known-dead ref).
             return next_hop
         tried = set(avoid)
+        network = self.network
+        tracer = network.tracer
         while True:
             tried.add(next_hop)
-            self.failover_stats["failovers"] += 1
+            self._failover.failovers += 1
+            if tracer is not None:
+                # No-op without an active trace context; otherwise
+                # annotates the trace with which dead reference this
+                # forwarding step skipped.
+                tracer.event("failover", peer=self.node_id,
+                             time=network.loop._now, level=level,
+                             dead=next_hop)
             next_hop = self._pick_reference(level, avoid=tried)
             if next_hop is None:
                 return None
@@ -672,7 +777,7 @@ class PGridPeer(Node):
             # whatever subtrees have answered so far.
             def _cancel_range() -> None:
                 if not task.finished:
-                    self.failover_stats["cancelled"] += 1
+                    self._failover.cancelled += 1
                     task.finish(False)
 
             cancel.on_cancel(_cancel_range)
@@ -854,6 +959,15 @@ class PGridPeer(Node):
             return  # late duplicate after a retry already answered
         if pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
+        if pending.span is not None:
+            tracer = (self.network.tracer if self.network is not None
+                      else None)
+            if tracer is not None:
+                now = self.network.loop._now
+                if pending.attempt_span is not None:
+                    tracer.finish(pending.attempt_span, now, status="ok")
+                tracer.finish(pending.span, now, status="ok",
+                              attempts=pending.attempts)
         pending.future.set_result(OpResult(
             key=pending.key,
             success=True,
@@ -890,6 +1004,11 @@ class _RangeTask:
         #: its callbacks may still send attributable traffic
         self.op_tag = (peer.network.current_operation()
                        if peer.network is not None else None)
+        #: trace context captured at issue time, re-activated around
+        #: resolution for the same reason (mirrors ``op_tag`` above)
+        tracer = peer.network.tracer if peer.network is not None else None
+        self.trace = (tracer._stack[-1]
+                      if tracer is not None and tracer._stack else None)
 
     def on_report(self, request_id: str, report: dict) -> None:
         if self.finished:
@@ -915,8 +1034,16 @@ class _RangeTask:
             hops=len(self.reported),
             latency=self.peer.loop.now - self.issued_at,
         )
-        if self.op_tag is not None and self.peer.network is not None:
-            with self.peer.network.operation(self.op_tag):
+        network = self.peer.network
+        tracer = network.tracer if network is not None else None
+        if tracer is not None and self.trace is not None:
+            tracer._stack.append(self.trace)
+        try:
+            if self.op_tag is not None and network is not None:
+                with network.operation(self.op_tag):
+                    self.future.set_result(result)
+            else:
                 self.future.set_result(result)
-        else:
-            self.future.set_result(result)
+        finally:
+            if tracer is not None and self.trace is not None:
+                tracer._stack.pop()

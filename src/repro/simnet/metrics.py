@@ -95,6 +95,16 @@ class NetworkMetrics:
             return 0.0
         return self.total_latency / self.messages_sent
 
+    def register_into(self, registry, name: str = "network") -> None:
+        """Expose these counters as a lazily-evaluated view in a
+        :class:`~repro.obs.registry.MetricsRegistry`.
+
+        The counters themselves stay plain dataclass fields (the send
+        path increments them inline); the registry snapshots them on
+        demand, so registration costs nothing per message.
+        """
+        registry.register_view(name, self.snapshot)
+
     def snapshot(self) -> dict:
         """A plain-dict copy, convenient for bench reporting."""
         return {

@@ -41,7 +41,7 @@ class Message:
     """
 
     __slots__ = ("kind", "src", "dst", "payload", "hops", "sent_at",
-                 "op_tag")
+                 "op_tag", "trace")
 
     def __init__(self, kind: str, src: str, dst: str,
                  payload: dict[str, Any] | None = None, hops: int = 0,
@@ -57,6 +57,13 @@ class Message:
         #: when left ``None`` and inherited by every message sent while
         #: handling the delivery (forwards, replies, replica fan-out)
         self.op_tag = op_tag
+        #: trace context ``(trace_id, span_id)`` of the causal chain
+        #: this message belongs to — a plain picklable tuple so sharded
+        #: transports ship it across process boundaries unchanged.
+        #: ``None`` whenever no tracer is installed or no trace is
+        #: active; the transport stamps it at send time and restores it
+        #: around the delivery handler (see ``repro.obs``).
+        self.trace: Any = None
 
     def __repr__(self) -> str:
         return (f"Message(kind={self.kind!r}, src={self.src!r}, "
@@ -175,15 +182,29 @@ class SimNetwork(Transport):
             op_stack = self._op_stack
             if op_stack:
                 message.op_tag = op_stack[-1]
+        tracer = self.tracer
+        if tracer is not None and message.trace is None:
+            # Stamp the active trace context, mirroring the op_tag
+            # inheritance above.  With no tracer installed this whole
+            # block is one attribute load and a None check — the
+            # pay-for-what-you-use contract the golden tests pin.
+            trace_stack = tracer._stack
+            if trace_stack:
+                message.trace = trace_stack[-1]
         dst_node = self._nodes.get(message.dst)
         if dst_node is None or not dst_node.online:
             self.metrics.record_drop(message.kind, reason="offline")
+            if tracer is not None and message.trace is not None:
+                tracer.message_dropped(message, loop._now, "offline")
             return
         injector = self.fault_injector
         if injector is not None:
             drop_reason = injector.on_send(message)
             if drop_reason is not None:
                 self.metrics.record_drop(message.kind, reason=drop_reason)
+                if tracer is not None and message.trace is not None:
+                    tracer.message_dropped(message, loop._now,
+                                           drop_reason)
                 return
         latency = self.latency
         if type(latency) is ConstantLatency:
@@ -206,6 +227,12 @@ class SimNetwork(Transport):
         op_tag = message.op_tag
         if op_tag is not None and op_tag in metrics.operations:
             metrics.operations[op_tag] += 1
+        if tracer is not None and message.trace is not None:
+            # Same gate as the op_tag counter above: a hop span exists
+            # exactly for the messages the metrics layer counts, which
+            # is what makes per-trace message coverage an exact match
+            # against ``operation_messages``.
+            tracer.message_sent(message, loop._now, delay)
         if injector is not None:
             # The injector owns scheduling for faulted links: it may
             # add jitter, clone duplicates or hold the message back to
@@ -228,6 +255,10 @@ class SimNetwork(Transport):
         if node is None or not node.online:
             # Destination went offline while the message was in flight.
             self.metrics.record_drop(message.kind, reason="in_flight")
+            tracer = self.tracer
+            if tracer is not None and message.trace is not None:
+                tracer.message_dropped(message, self._loop._now,
+                                       "in_flight")
             return
         if node._fast_dispatch:
             # Stock dispatch: jump straight to the registered handler
@@ -238,6 +269,13 @@ class SimNetwork(Transport):
                 handler = node.unhandled_message
         else:
             handler = node.on_message
+        if message.trace is not None:
+            # Traced delivery: re-open the trace context (and the
+            # op_tag scope) around the handler.  Untraced messages —
+            # the only kind that exists with tracing off — skip to the
+            # exact historical dispatch below.
+            self._deliver_traced(message, handler)
+            return
         op_tag = message.op_tag
         if op_tag is not None:
             # Re-open the scope so messages sent by the handler inherit
@@ -252,6 +290,32 @@ class SimNetwork(Transport):
                 op_stack.pop()
         else:
             handler(message)
+
+    def _deliver_traced(self, message: Message, handler) -> None:
+        """Deliver with the envelope's trace context re-activated.
+
+        Messages the handler sends parent under this message's hop
+        span — the asynchronous leg of causal propagation (the
+        synchronous leg is the tracer's activation stack).
+        """
+        tracer = self.tracer
+        trace_stack = tracer._stack if tracer is not None else None
+        if trace_stack is not None:
+            trace_stack.append(message.trace)
+        op_tag = message.op_tag
+        try:
+            if op_tag is not None:
+                op_stack = self._op_stack
+                op_stack.append(op_tag)
+                try:
+                    handler(message)
+                finally:
+                    op_stack.pop()
+            else:
+                handler(message)
+        finally:
+            if trace_stack is not None:
+                trace_stack.pop()
 
 
 #: The canonical transport-facing name for :class:`SimNetwork`: the

@@ -152,11 +152,18 @@ class ShardTransport(Transport):
     def send(self, message: Message) -> None:
         loop = self._loop
         message.sent_at = loop.now
+        tracer = self.tracer
+        if tracer is not None and message.trace is None:
+            trace_stack = tracer._stack
+            if trace_stack:
+                message.trace = trace_stack[-1]
         injector = self.fault_injector
         if injector is not None:
             drop_reason = injector.on_send(message)
             if drop_reason is not None:
                 self.metrics.record_drop(message.kind, reason=drop_reason)
+                if tracer is not None and message.trace is not None:
+                    tracer.message_dropped(message, loop.now, drop_reason)
                 return
         dst_node = self._nodes.get(message.dst)
         metrics = self.metrics
@@ -164,12 +171,16 @@ class ShardTransport(Transport):
             # -- local delivery (same semantics as SimNetwork.send) ----
             if not dst_node.online:
                 metrics.record_drop(message.kind, reason="offline")
+                if tracer is not None and message.trace is not None:
+                    tracer.message_dropped(message, loop.now, "offline")
                 return
             delay = (self._const_delay if self._const_delay is not None
                      else self.latency.sample(message.src, message.dst,
                                               self.rng))
             metrics.messages_sent += 1
             metrics.total_latency += delay
+            if tracer is not None and message.trace is not None:
+                tracer.message_sent(message, loop.now, delay)
             if injector is not None:
                 injector.dispatch(message, delay, self._deliver)
             else:
@@ -178,9 +189,13 @@ class ShardTransport(Transport):
         # -- cross-shard envelope --------------------------------------
         if message.dst not in self._owner_of:
             metrics.record_drop(message.kind, reason="offline")
+            if tracer is not None and message.trace is not None:
+                tracer.message_dropped(message, loop.now, "offline")
             return
         if not self._liveness.get(message.dst, True):
             metrics.record_drop(message.kind, reason="offline")
+            if tracer is not None and message.trace is not None:
+                tracer.message_dropped(message, loop.now, "offline")
             return
         delay = (self._const_delay if self._const_delay is not None
                  else self.latency.sample(message.src, message.dst, self.rng))
@@ -188,13 +203,36 @@ class ShardTransport(Transport):
             delay = self._clamp_delay
         metrics.messages_sent += 1
         metrics.total_latency += delay
+        if tracer is not None and message.trace is not None:
+            # Recorded at the sender with the sampled (clamped) delay,
+            # so the hop span is complete before the envelope crosses
+            # the shard boundary — the receiving shard never amends it.
+            tracer.message_sent(message, loop.now, delay)
         self._outbox.append((loop.now + delay, next(self._out_seq), message))
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
         if node is None or not node.online:
             self.metrics.record_drop(message.kind, reason="in_flight")
+            tracer = self.tracer
+            if tracer is not None and message.trace is not None:
+                tracer.message_dropped(message, self._loop.now,
+                                       "in_flight")
             return
+        if message.trace is not None:
+            tracer = self.tracer
+            if tracer is not None:
+                # Cross-shard stitching: the context tuple rode the
+                # envelope, so re-activating it here parents the
+                # handler's sends under the sender-recorded hop span
+                # even when that span lives in another shard's buffer.
+                trace_stack = tracer._stack
+                trace_stack.append(message.trace)
+                try:
+                    node.on_message(message)
+                finally:
+                    trace_stack.pop()
+                return
         node.on_message(message)
 
     # Exact-time churn callbacks (pre-scheduled by the controller).
@@ -278,21 +316,53 @@ class Shard:
     def _issue(self, ref: int, node_id: str, method: str, args: tuple,
                summarize: Callable) -> None:
         peer = self.transport.node(node_id)
-        future = getattr(peer, method)(*args)
-        future.add_done_callback(
-            lambda f: self._completions.append((ref, summarize(f.result()))))
+        tracer = self.transport.tracer
+        if tracer is None:
+            future = getattr(peer, method)(*args)
+            future.add_done_callback(
+                lambda f: self._completions.append(
+                    (ref, summarize(f.result()))))
+            return
+        # Traced submission: the op ref comes from the controller's
+        # global submit order, so the trace id — and the root span's
+        # per-peer sequence — is invariant to how peers are sharded.
+        loop = self.transport.loop
+        root = tracer.start_trace(f"op:{ref}", f"op:{method}",
+                                  peer=node_id, start=loop.now)
+        context = tracer.context_of(root)
+        tracer._stack.append(context)
+        try:
+            future = getattr(peer, method)(*args)
+        finally:
+            tracer._stack.pop()
+
+        def _done(f: Any) -> None:
+            result = f.result()
+            status = "ok" if getattr(result, "success", True) else "failed"
+            tracer.finish(root, loop.now, status)
+            self._completions.append((ref, summarize(result)))
+
+        future.add_done_callback(_done)
 
     def stats(self) -> dict:
-        """Final per-shard report (metrics + footprint)."""
+        """Final per-shard report (metrics + footprint + spans)."""
         import resource
 
-        return {
+        report = {
             "shard": self.shard_id,
             "peers": len(self.transport._nodes),
             "metrics": self.transport.metrics.snapshot(),
             "events_processed": self.transport.loop.events_processed,
             "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         }
+        tracer = self.transport.tracer
+        if tracer is not None:
+            # Span records are plain dicts, so process-mode workers
+            # ship them over the stats pipe unchanged; the controller
+            # merges per-shard buffers deterministically.
+            report["spans"] = tracer.records
+            report["spans_dropped"] = tracer.dropped
+        return report
 
 
 def _shard_worker(shard: Shard, conn: Any) -> None:
@@ -426,6 +496,47 @@ class ShardedTransport:
 
     def owner_of(self, node_id: str) -> int:
         return self._owner_of[node_id]
+
+    def install_tracer(self, seed: int | None = None,
+                       capacity: int = 200_000) -> None:
+        """Install one :class:`~repro.obs.tracer.Tracer` per shard.
+
+        Every shard's tracer shares the same trace seed, so span ids
+        depend only on ``(seed, peer, per-peer sequence)`` — identical
+        across shard counts and worker modes.  Must run before
+        :meth:`start` in process mode (tracers fork with the shards).
+        """
+        from repro.obs.tracer import Tracer
+
+        if self._started and self.mode == "process":
+            raise SimulationError(
+                "install_tracer must run before start() in process mode")
+        trace_seed = self.seed if seed is None else seed
+        for shard in self.shards:
+            shard.transport.install_tracer(
+                Tracer(seed=trace_seed, capacity=capacity))
+
+    def trace_records(self) -> list[dict]:
+        """Merged, deterministically ordered span/event records.
+
+        Inline mode reads the live per-shard tracers; process mode
+        reads the buffers shipped back by :meth:`stop` (call it
+        first).  The merge order is a pure function of the records, so
+        inline and forked runs export byte-identical JSONL.
+        """
+        from repro.obs.tracer import merge_records
+
+        if self._final_stats is not None:
+            buffers = [entry.get("spans", [])
+                       for entry in self._final_stats]
+        elif self.mode == "process" and self._conns:
+            raise SimulationError(
+                "process-mode trace records are collected by stop()")
+        else:
+            buffers = [shard.transport.tracer.records
+                       for shard in self.shards
+                       if shard.transport.tracer is not None]
+        return merge_records(buffers)
 
     # -- process workers -----------------------------------------------
 

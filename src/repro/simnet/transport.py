@@ -59,12 +59,20 @@ class Transport:
     #: injector installed every simulation stays bit-identical.
     fault_injector: Any | None
 
+    #: active span recorder, if any (see :class:`repro.obs.tracer.
+    #: Tracer`).  Same contract as the fault injector: ``None`` keeps
+    #: every send/deliver on the exact historical code path, so a
+    #: tracing-disabled run is bit-identical to the pre-tracing
+    #: simulator.
+    tracer: Any | None
+
     def __init__(self) -> None:
         self.metrics = NetworkMetrics()
         self._nodes: dict[str, "Node"] = {}
         #: stack of active attribution scopes (see :meth:`operation`)
         self._op_stack: list[str] = []
         self.fault_injector = None
+        self.tracer = None
 
     # -- clock ---------------------------------------------------------
 
@@ -167,6 +175,29 @@ class Transport:
         """Detach ``injector`` (idempotent; unknown injectors ignored)."""
         if self.fault_injector is injector:
             self.fault_injector = None
+
+    # -- tracing hook points -------------------------------------------
+
+    def install_tracer(self, tracer: Any) -> Any:
+        """Route subsequent sends/deliveries through ``tracer``.
+
+        The tracer contract mirrors the injector's: the transport
+        stamps outgoing envelopes with the active trace context,
+        records a hop span per message that passes the drop checks
+        (``message_sent``), records drop events (``message_dropped``)
+        and re-activates a delivered envelope's context around its
+        handler — exactly the causal discipline of ``op_tag`` scopes.
+        Returns ``tracer`` for chaining.
+        """
+        if self.tracer is not None and self.tracer is not tracer:
+            raise SimulationError("a tracer is already installed")
+        self.tracer = tracer
+        return tracer
+
+    def uninstall_tracer(self, tracer: Any) -> None:
+        """Detach ``tracer`` (idempotent; unknown tracers ignored)."""
+        if self.tracer is tracer:
+            self.tracer = None
 
     # -- sending -------------------------------------------------------
 

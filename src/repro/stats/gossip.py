@@ -57,6 +57,8 @@ class StatsAntiEntropy:
         self._running = False
         #: pull messages sent (for reporting)
         self.pulls_sent = 0
+        #: pull rounds issued (suffixes the per-round trace ids)
+        self._rounds = 0
 
     def start(self) -> None:
         """Schedule the first pull round (with jitter)."""
@@ -87,14 +89,18 @@ class StatsAntiEntropy:
         if peer is None or peer.network is None or not peer.online:
             return 0
         sent = 0
-        for target in sorted(self.peers):
-            if target == self.origin:
-                continue
-            if not peer.network.is_online(target):
-                continue
-            self.pulls_sent += 1
-            sent += 1
-            peer.send(target, "stats_pull", {"budget": PULL_BUDGET})
+        root = self._begin_round(peer, "antientropy:sweep")
+        try:
+            for target in sorted(self.peers):
+                if target == self.origin:
+                    continue
+                if not peer.network.is_online(target):
+                    continue
+                self.pulls_sent += 1
+                sent += 1
+                peer.send(target, "stats_pull", {"budget": PULL_BUDGET})
+        finally:
+            self._end_round(peer, root, sent)
         return sent
 
     def _tick(self) -> None:
@@ -110,8 +116,41 @@ class StatsAntiEntropy:
                 and peer.network.is_online(node_id)
             ]
             self.rng.shuffle(candidates)
-            for target in candidates[:self.fanout]:
-                self.pulls_sent += 1
-                peer.send(target, "stats_pull", {"budget": PULL_BUDGET})
+            root = self._begin_round(peer, "antientropy:pull")
+            sent = 0
+            try:
+                for target in candidates[:self.fanout]:
+                    self.pulls_sent += 1
+                    sent += 1
+                    peer.send(target, "stats_pull",
+                              {"budget": PULL_BUDGET})
+            finally:
+                self._end_round(peer, root, sent)
         peer.loop.schedule(self.rng.uniform(0.5, 1.5) * self.interval,
                            self._tick)
+
+    # -- tracing (no-ops with no tracer installed) ---------------------
+
+    def _begin_round(self, peer, name: str):
+        """Open a per-round root trace when the transport is traced.
+
+        Anti-entropy runs outside any query, so each round gets its
+        own trace — the pull messages (and the pushes they trigger)
+        parent under it instead of polluting query traces.
+        """
+        tracer = peer.network.tracer
+        if tracer is None:
+            return None
+        self._rounds += 1
+        root = tracer.start_trace(
+            f"{name}:{self.origin}:{self._rounds}", name,
+            peer=self.origin, start=peer.loop.now, kind="antientropy")
+        tracer._stack.append(tracer.context_of(root))
+        return root
+
+    def _end_round(self, peer, root, sent: int) -> None:
+        if root is None:
+            return
+        tracer = peer.network.tracer
+        tracer._stack.pop()
+        tracer.finish(root, peer.loop.now, pulls=sent)

@@ -180,3 +180,52 @@ class TestChaosCommand:
     def test_chaos_listed_in_experiments(self, capsys):
         assert main(["experiments"]) == 0
         assert "E17" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def run_traced_query(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(["query",
+                     "SearchFor(x? : (x?, Nowhere#nothing, %zz%))",
+                     "--peers", "16", "--schemas", "3",
+                     "--entities", "20", "--rounds", "1",
+                     "--trace", str(path)])
+        assert code == 0
+        return path
+
+    def test_query_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        path = self.run_traced_query(tmp_path)
+        out = capsys.readouterr().out
+        assert f"-> {path}" in out
+        from repro.obs.analysis import load_jsonl, trace_ids
+        records = load_jsonl(str(path))
+        assert trace_ids(records) == ["searchfor:0"]
+
+    def test_trace_summary_waterfall_and_stats(self, tmp_path, capsys):
+        path = self.run_traced_query(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s)" in out and "searchfor:0" in out
+        assert main(["trace", str(path), "--waterfall",
+                     "searchfor:0"]) == 0
+        out = capsys.readouterr().out
+        assert "msg:route" in out and "|" in out
+        assert main(["trace", str(path), "--critical-path",
+                     "searchfor:0"]) == 0
+        assert "critical path" in capsys.readouterr().out
+        assert main(["trace", str(path), "--stats"]) == 0
+        assert "message attribution" in capsys.readouterr().out
+
+    def test_trace_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_chaos_run_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "chaos.jsonl"
+        code = main(["chaos", "run", "--seed", "0", "--peers", "12",
+                     "--queries", "2", "--trace", str(path)])
+        assert code == 0
+        assert "trace: written to" in capsys.readouterr().out
+        from repro.obs.analysis import load_jsonl
+        assert load_jsonl(str(path))

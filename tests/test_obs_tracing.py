@@ -1,0 +1,213 @@
+"""Integration tests: causal traces across queries, shards and faults.
+
+The load-bearing invariant (the ISSUE's acceptance criterion): with
+tracing enabled, one query produces **one connected trace whose message
+spans cover exactly the messages the metrics plane attributes to the
+query's op tag** — tracer hooks sit at the same code gates as the
+attribution counters, so the two planes can never drift.
+"""
+
+import pytest
+
+from repro.mediation.network import GridVineNetwork
+from repro.obs.analysis import (
+    connected_components,
+    events_of,
+    spans_of,
+    trace_ids,
+)
+from repro.pgrid.peer import PGridPeer
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.schema.model import Schema
+from repro.simnet.latency import ConstantLatency
+from repro.simnet.shard import ShardedTransport
+from repro.util.keys import Key
+
+QUERY = "SearchFor(x? : (x?, S0#org, %Aspergillus%))"
+
+
+def build_corpus(seed=29):
+    """A miniature of the E13 bench corpus: mapped chain S0 -> S1."""
+    net = GridVineNetwork.build(num_peers=32, seed=seed)
+    schemas = [Schema(f"S{i}", ["org", "len"], domain="e13")
+               for i in range(2)]
+    for schema in schemas:
+        net.insert_schema(schema)
+    triples = []
+    for schema in schemas:
+        for j in range(6):
+            organism = "Aspergillus" if j % 3 == 0 else "Yeast"
+            subject = URI(f"{schema.name}:e{j}")
+            triples.append(Triple(subject, URI(f"{schema.name}#org"),
+                                  Literal(f"{organism}-{j}")))
+            triples.append(Triple(subject, URI(f"{schema.name}#len"),
+                                  Literal(str(100 + j))))
+    net.insert_triples(triples)
+    net.create_mapping(schemas[0], schemas[1],
+                       [("org", "org"), ("len", "len")])
+    net.settle()
+    return net
+
+
+def assert_trace_well_formed(records, trace):
+    """Connected, fully closed, and every span id is unique."""
+    spans = spans_of(records, trace)
+    assert spans, trace
+    assert connected_components(spans) == 1
+    assert all(s["end"] is not None for s in spans)
+    assert all(s["status"] != "open" for s in spans)
+    ids = [s["span"] for s in spans]
+    assert len(ids) == len(set(ids))
+
+
+class TestQueryTraces:
+    def test_query_trace_covers_attributed_messages_exactly(self):
+        net = build_corpus()
+        tracer = net.install_tracer()
+        out = net.search_for(QUERY)
+        records = net.trace_records()
+        traces = trace_ids(records)
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.startswith("searchfor:")
+        assert_trace_well_formed(records, trace)
+        message_spans = [s for s in spans_of(records, trace)
+                         if s["kind"] == "message"]
+        # The trace plane and the metrics plane agree *exactly*: both
+        # hooks sit at the same gate in SimNetwork.send.
+        assert out.messages > 0
+        assert len(message_spans) == out.messages
+        root = next(s for s in spans_of(records, trace)
+                    if s["parent"] is None)
+        assert root["attrs"]["messages"] == out.messages
+        assert tracer.dropped == 0
+
+    def test_batch_trace_covers_attributed_messages_exactly(self):
+        net = build_corpus()
+        net.install_tracer()
+        engine = net.create_engine(domain="e13")
+        result = engine.execute_batch([
+            QUERY, "SearchFor(x? : (x?, S1#org, %Yeast%))"])
+        records = net.trace_records()
+        traces = trace_ids(records)
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.startswith("batch:")
+        assert_trace_well_formed(records, trace)
+        message_spans = [s for s in spans_of(records, trace)
+                         if s["kind"] == "message"]
+        assert result.messages > 0
+        assert len(message_spans) == result.messages
+
+    def test_concurrent_queries_never_share_spans(self):
+        net = build_corpus()
+        net.install_tracer()
+        first = net.search_for(QUERY)
+        second = net.search_for(
+            "SearchFor(x? : (x?, S1#org, %Yeast%))")
+        records = net.trace_records()
+        traces = trace_ids(records)
+        assert len(traces) == 2
+        for trace, outcome in zip(traces, (first, second)):
+            assert_trace_well_formed(records, trace)
+            assert sum(1 for s in spans_of(records, trace)
+                       if s["kind"] == "message") == outcome.messages
+
+    def test_traces_are_bit_identical_across_runs(self):
+        def run():
+            net = build_corpus()
+            net.install_tracer()
+            net.search_for(QUERY)
+            return net.trace_records()
+
+        assert run() == run()
+
+    def test_registry_views_include_network_and_tracer(self):
+        net = build_corpus()
+        net.install_tracer()
+        net.search_for(QUERY)
+        snap = net.registry.snapshot()
+        assert "network" in snap["views"]
+        assert snap["views"]["tracer"]["spans"] > 0
+        assert snap["views"]["tracer"]["dropped"] == 0
+
+    def test_untraced_runs_record_nothing(self):
+        net = build_corpus()
+        out = net.search_for(QUERY)
+        assert out.messages > 0
+        assert net.trace_records() == []
+        assert net.network.tracer is None
+
+
+def run_fault_retry(num_shards, mode):
+    """A dropped-then-retried route: the origin's first attempt hits an
+    offline responsible peer; the timeout retry (after recovery)
+    succeeds.  Returns (completed summary, trace records)."""
+    transport = ShardedTransport(num_shards,
+                                 latency=ConstantLatency(0.05),
+                                 seed=3, mode=mode)
+    a = PGridPeer("peer-a", Key("0"))
+    b = PGridPeer("peer-b", Key("1"))
+    a.routing_table[0] = ["peer-b"]
+    b.routing_table[0] = ["peer-a"]
+    b.store.setdefault("1", []).append("needle")
+    transport.add_peer(a, 0)
+    transport.add_peer(b, num_shards - 1)
+    transport.set_online_at(0.2, "peer-b", False)
+    transport.set_online_at(5.0, "peer-b", True)
+    transport.install_tracer()
+    transport.start()
+    transport.run_until(1.0)
+    transport.submit("peer-a", "retrieve", Key("1"))
+    # Barrier between the recovery toggle (5.0) and the retry timer
+    # (16.0): remote liveness maps publish window-start state, so the
+    # retry only sees the recovery after a barrier past 5.0.
+    transport.run_until(6.0)
+    transport.run_until_quiescent()
+    transport.stop()
+    return dict(transport.completed), transport.trace_records()
+
+
+class TestFaultRetryTrace:
+    def test_failed_attempt_and_retry_are_sibling_spans(self):
+        completed, records = run_fault_retry(1, "inline")
+        assert completed[0][:2] == (True, 1)  # found the needle
+        traces = trace_ids(records)
+        assert len(traces) == 1
+        assert_trace_well_formed(records, traces[0])
+        attempts = [s for s in spans_of(records)
+                    if s["kind"] == "attempt"]
+        assert [s["name"] for s in attempts] == [
+            "attempt:1", "attempt:2"]
+        failed, retried = attempts
+        assert failed["status"] == "timeout"
+        assert retried["status"] == "ok"
+        assert failed["parent"] == retried["parent"]  # siblings
+        event_names = {e["name"] for e in events_of(records)}
+        assert "drop:offline" in event_names
+        assert "failover" in event_names
+        # The retry's hops made it through.
+        hops = [s["name"] for s in spans_of(records)
+                if s["kind"] == "message"]
+        assert hops == ["msg:route", "msg:reply"]
+
+    def test_identical_across_runs_shard_counts_and_modes(self):
+        completed, baseline = run_fault_retry(1, "inline")
+        for num_shards, mode in ((1, "inline"), (2, "inline"),
+                                 (2, "process")):
+            again, records = run_fault_retry(num_shards, mode)
+            assert again == completed, (num_shards, mode)
+            assert records == baseline, (num_shards, mode)
+
+
+@pytest.mark.parametrize("mode", ["inline", "process"])
+def test_sharded_trace_export_is_deterministic(tmp_path, mode):
+    from repro.obs.tracer import export_records_jsonl
+
+    _completed, records = run_fault_retry(2, mode)
+    path = tmp_path / f"{mode}.jsonl"
+    export_records_jsonl(records, str(path))
+    assert path.read_text() == "".join(
+        __import__("json").dumps(r, sort_keys=True) + "\n"
+        for r in records)
