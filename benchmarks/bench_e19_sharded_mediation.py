@@ -1,0 +1,127 @@
+"""E19 — sharded mediation: GridVine queries through ShardedTransport.
+
+E18 ported the raw P-Grid retrieve workload onto the sharded engine;
+this experiment ports the *mediation layer*.  One GridVine deployment —
+generated corpus, ground-truth mapping chain (both directions),
+``SearchFor`` query waves plus one engine batch per wave — runs
+unchanged on the single-loop transport and on the sharded transport at
+1, 2 and 4 shards, inline and forked.
+
+The headline claim is stronger than E18's: with ``refs_per_level=1``
+and ``replication=1`` the query path makes no consequential rng draws,
+so every engine configuration produces **bit-identical per-query
+outcomes** — success flags, result rows, reformulation counts and the
+*exact* attributed message count per query (attribution tags follow
+causal chains across shard boundaries).  The assertions compare the
+full outcome dicts, not just aggregates.
+
+Wall-clock is best-of-N with the cyclic GC paused during timed runs
+(same harness as E18).  ``REPRO_BENCH_E19_PEERS`` overrides the peer
+count (CI's scale-smoke job runs a bounded configuration).
+"""
+
+import gc
+import os
+
+from conftest import report, run_once
+from record import record
+
+from repro.pgrid.scaleout import (
+    ScaleoutSpec,
+    build_deployment,
+    run_inprocess,
+    run_sharded,
+)
+
+
+def _spec(scale, num_shards=4, mode="inline"):
+    peers = int(os.environ.get("REPRO_BENCH_E19_PEERS", "0"))
+    if not peers:
+        peers = 2_000 if scale == "full" else 300
+    quick = peers < 1_000
+    return ScaleoutSpec(
+        num_peers=peers,
+        replication=1,
+        refs_per_level=1,
+        seed=3,
+        num_shards=num_shards,
+        mode=mode,
+        workload="mediation",
+        num_schemas=4 if quick else 6,
+        num_entities=60 if quick else 120,
+        entities_per_schema=20 if quick else 30,
+        ops_per_wave=8 if quick else 20,
+        num_waves=2 if quick else 3,
+        batch_queries=3,
+    )
+
+
+def _timed(run, repeats):
+    """Best-of-``repeats`` with the cyclic GC paused during each run."""
+    best, walls = None, []
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            result = run()
+        finally:
+            gc.enable()
+        walls.append(result.wall_clock_s)
+        if best is None or result.wall_clock_s < best.wall_clock_s:
+            best = result
+    return best, walls
+
+
+def test_e19_sharded_mediation(benchmark, scale):
+    repeats = 3 if scale == "full" else 2
+    shard_counts = (1, 2, 4)
+
+    def run():
+        deployment = build_deployment(_spec(scale))
+        rows = {}
+        rows["inprocess"] = _timed(
+            lambda: run_inprocess(_spec(scale), deployment), repeats)
+        for shards in shard_counts:
+            spec = _spec(scale, num_shards=shards)
+            rows[f"sharded{shards}"] = _timed(
+                lambda: run_sharded(spec, deployment), repeats)
+        # One forked-workers run: pipes, pickling and per-shard stats
+        # merging on the full mediation stack (timed once — fork cost
+        # is startup, not steady-state).
+        forked_spec = _spec(scale, num_shards=2, mode="process")
+        rows["forked2"] = _timed(
+            lambda: run_sharded(forked_spec, deployment), 1)
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    spec = _spec(scale)
+    report("E19", f"{spec.num_peers} peers, {spec.num_waves} waves x "
+                  f"{spec.ops_per_wave} SearchFor + {spec.batch_queries}"
+                  f"-query engine batch, best of {repeats}")
+    report("E19", f"{'engine':>10} {'wall s':>8} {'success':>8} "
+                  f"{'rows':>6} {'refos':>6} {'q msgs':>8} {'rss MB':>7}")
+    recorded = []
+    for label, (best, walls) in rows.items():
+        report("E19",
+               f"{label:>10} {best.wall_clock_s:>8.3f} "
+               f"{best.successes:>8} {best.rows_returned:>6} "
+               f"{best.reformulations:>6} {best.query_messages:>8} "
+               f"{best.peak_rss_kb / 1024:>7.0f}")
+        summary = best.summary()
+        summary.update(label=label,
+                       wall_clock_runs_s=[round(w, 3) for w in walls])
+        recorded.append(summary)
+    record("E19", scale=scale, runs=recorded,
+           totals={"num_peers": spec.num_peers, "repeats": repeats,
+                   "shard_counts": list(shard_counts)})
+
+    # The acceptance bar: identical per-query outcomes — success flags,
+    # result rows, reformulations and exact per-query message counts —
+    # on every engine configuration, forked workers included.
+    baseline = rows["inprocess"][0]
+    assert baseline.ops_completed == baseline.ops_issued > 0
+    assert baseline.successes > 0 and baseline.rows_returned > 0
+    for label, (best, _walls) in rows.items():
+        assert best.outcomes == baseline.outcomes, label
+        assert best.query_messages == baseline.query_messages, label

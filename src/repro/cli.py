@@ -46,11 +46,12 @@ booth:
     comparable report (successes, hops, messages, wall clock, RSS).
 
 ``experiments``
-    List the E1..E18 benchmark targets and how to run them.
+    List the E1..E19 benchmark targets and how to run them.
 
 ``trace``
     Analyze a trace written by ``--trace out.jsonl`` (available on
-    ``query``, ``batch``, ``scenario`` and ``chaos run``): per-trace
+    ``query``, ``batch``, ``scenario``, ``chaos run`` and
+    ``scaleout``): per-trace
     summaries and slowest queries by default, ``--waterfall`` /
     ``--critical-path`` for one trace's hop-by-hop timeline, and
     ``--stats`` for per-op-tag message attribution with per-kind
@@ -101,6 +102,8 @@ _EXPERIMENTS = [
      "bench_e17_partition_recall.py"),
     ("E18", "10k-peer scale-out: sharded vs single-loop transport",
      "bench_e18_scaleout.py"),
+    ("E19", "sharded mediation: bit-identical GridVine queries",
+     "bench_e19_sharded_mediation.py"),
 ]
 
 
@@ -469,17 +472,23 @@ def cmd_scaleout(args) -> int:
         ops_per_wave=args.ops,
         num_waves=args.waves,
         churn=args.churn,
+        workload=args.workload,
+        trace_path=getattr(args, "trace", None),
     )
     engine = run_inprocess if args.engine == "inprocess" else run_sharded
     shards = "" if args.engine == "inprocess" else \
         f" x {spec.num_shards} shards ({spec.mode})"
+    ops = ("SearchFor queries" if spec.workload == "mediation"
+           else f"retrieves over {spec.num_keys} keys")
     print(f"scaleout: {spec.num_peers} peers{shards}, "
-          f"{spec.num_waves} waves x {spec.ops_per_wave} retrieves "
-          f"over {spec.num_keys} keys, churn "
-          f"{'on' if spec.churn else 'off'}")
+          f"{spec.num_waves} waves x {spec.ops_per_wave} {ops}, "
+          f"churn {'on' if spec.churn else 'off'}")
     report = engine(spec)
     for key, value in report.summary().items():
         print(f"  {key:<22} {value}")
+    if spec.trace_path:
+        print(f"trace: written to {spec.trace_path} "
+              f"(inspect with: python -m repro trace {spec.trace_path})")
     return 0
 
 
@@ -739,6 +748,14 @@ def build_parser() -> argparse.ArgumentParser:
     scaleout.add_argument("--churn", action="store_true",
                           help="replay the seeded exponential outage "
                                "trace while the waves run")
+    scaleout.add_argument("--workload", default="retrieve",
+                          choices=["retrieve", "mediation"],
+                          help="retrieve: raw P-Grid lookups; "
+                               "mediation: GridVine peers running "
+                               "SearchFor query waves over a generated "
+                               "corpus with a ground-truth mapping "
+                               "chain")
+    _add_trace_arg(scaleout)
     scaleout.set_defaults(func=cmd_scaleout)
 
     experiments = sub.add_parser("experiments",

@@ -33,7 +33,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.engine.cache import PlanCache, PlanCacheStats
-from repro.engine.executor import execute_batch
 from repro.engine.versioning import MappingVersionClock
 from repro.mapping.graph import MappingGraph
 from repro.mapping.model import SchemaMapping
@@ -278,47 +277,13 @@ class QueryEngine:
                 executable.append(kept)
                 pruned_counts[index] = pruned
             plans = executable
-        metrics = self.network.network.metrics
-        # Per-operation attribution: the batch's pattern fetches (and
-        # everything they cause downstream) carry this tag, so the
-        # count stays exact even with maintenance or churn traffic
-        # running in the background.
-        op_tag = f"batch:{next(self.network._op_tags)}"
-        metrics.begin_operation(op_tag)
-        transport = self.network.network
-        tracer = transport.tracer
-        root = None
-        if tracer is not None:
-            # Root span of the batch's trace.  trace_id == op_tag, so
-            # the trace's message spans correspond 1:1 with the
-            # messages the metrics attribute to the same tag (the
-            # exact-coverage invariant the obs tests pin).  The root
-            # wraps only the synchronous kickoff below — exactly the
-            # op_tag scope — so concurrent background traffic stays
-            # outside the trace.
-            root = tracer.start_trace(op_tag, op_tag, peer=peer.node_id,
-                                      start=transport.loop.now,
-                                      queries=len(parsed))
-        try:
-            with transport.operation(op_tag):
-                if root is not None:
-                    with tracer.activate(tracer.context_of(root)):
-                        batch_future = execute_batch(peer, parsed, plans,
-                                                     limit=limit,
-                                                     optimizer=optimizer)
-                else:
-                    batch_future = execute_batch(peer, parsed, plans,
-                                                 limit=limit,
-                                                 optimizer=optimizer)
-            outcomes, fetch_stats = self.network.loop.run_until_complete(
-                batch_future
-            )
-            messages = metrics.operation_messages(op_tag)
-            if root is not None:
-                tracer.finish(root, transport.loop.now,
-                              messages=messages)
-        finally:
-            metrics.end_operation(op_tag)
+        # The transport-coupled half (operation tagging, tracing,
+        # driving the loop) lives behind the network's ``run_batch``
+        # seam, so the same engine works against the in-process
+        # GridVineNetwork and the sharded facade.
+        outcomes, fetch_stats, messages = self.network.run_batch(
+            peer, parsed, plans, limit=limit, optimizer=optimizer,
+        )
         if len(outcomes) == 1:
             outcomes[0].messages = messages
         if optimizer is not None:

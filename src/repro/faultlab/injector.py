@@ -323,3 +323,60 @@ class FaultInjector:
         # attribute their downstream sends to the right trace.
         copy.trace = message.trace
         return copy
+
+
+class InstalledPlan:
+    """One :class:`FaultPlan` live on one deployment, however sharded.
+
+    Aggregates the per-transport :class:`FaultInjector` instances a
+    plan installation produced (one for a single-loop transport, one
+    per shard for a :class:`~repro.simnet.shard.ShardedTransport`) so
+    scenario harnesses can stay transport-agnostic: uninstall heals
+    everything everywhere, and :attr:`injected` reports the
+    deployment-wide totals.
+    """
+
+    def __init__(self, injectors: list[FaultInjector]) -> None:
+        self.injectors = injectors
+
+    @property
+    def injected(self) -> dict[str, int]:
+        """Fired-fault counts by action, summed over all injectors."""
+        totals: dict[str, int] = {}
+        for injector in self.injectors:
+            for action, count in injector.injected.items():
+                totals[action] = totals.get(action, 0) + count
+        return totals
+
+    def currently_down(self) -> set[str]:
+        """Nodes any injector holds offline right now."""
+        down: set[str] = set()
+        for injector in self.injectors:
+            down |= injector.currently_down()
+        return down
+
+    def uninstall(self) -> None:
+        """Detach every injector (flushes holds, restarts crashes)."""
+        for injector in self.injectors:
+            injector.uninstall()
+
+    def __enter__(self) -> "InstalledPlan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+
+def install_plan(transport: Any, plan: FaultPlan) -> InstalledPlan:
+    """Install ``plan`` on any transport and return the installation.
+
+    A :class:`~repro.simnet.shard.ShardedTransport` installs one
+    injector per shard (its ``install_fault_plan``); any single-loop
+    :class:`Transport` gets one injector directly.  Either way the
+    caller holds an :class:`InstalledPlan` with uniform uninstall and
+    accounting.
+    """
+    installer = getattr(transport, "install_fault_plan", None)
+    if installer is not None:
+        return installer(plan)
+    return InstalledPlan([FaultInjector(transport, plan).install()])

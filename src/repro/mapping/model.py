@@ -65,6 +65,12 @@ class PredicateCorrespondence:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("PredicateCorrespondence is immutable")
 
+    def __reduce__(self):
+        # Constructor round-trip: immutability blocks slot-state
+        # unpickling, and mappings cross sharded worker pipes.
+        return (PredicateCorrespondence,
+                (self.source, self.target, self.kind, self.score))
+
     def reversed(self) -> "PredicateCorrespondence":
         """The opposite-direction correspondence.
 
@@ -159,6 +165,12 @@ class SchemaMapping:
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("SchemaMapping is immutable")
+
+    def __reduce__(self):
+        return (SchemaMapping,
+                (self.mapping_id, self.source_schema, self.target_schema,
+                 self.correspondences, self.provenance, self.deprecated,
+                 self.confidence))
 
     # -- lookups --------------------------------------------------------
 

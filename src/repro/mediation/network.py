@@ -406,6 +406,64 @@ class GridVineNetwork:
         finally:
             metrics.end_operation(op_tag)
 
+    def run_batch(self, peer, queries, plans, limit: int | None = None,
+                  optimizer=None):
+        """Run a pre-planned engine batch at *peer*, with attribution.
+
+        The transport seam under
+        :meth:`repro.engine.core.QueryEngine.execute_batch`: the
+        engine owns planning (its mapping-graph mirror, plan cache and
+        pruning), while this method owns everything transport-coupled
+        — the ``batch:<n>`` operation tag, the trace root, and driving
+        the loop to completion.  A sharded deployment swaps in
+        :class:`repro.mediation.sharded.ShardedGridVine`'s
+        ``run_batch``, which routes the same call through
+        ``ShardedTransport.submit`` instead; the engine never notices.
+
+        Returns ``(outcomes, fetch_stats, messages)``.
+        """
+        metrics = self.network.metrics
+        # Per-operation attribution: the batch's pattern fetches (and
+        # everything they cause downstream) carry this tag, so the
+        # count stays exact even with maintenance or churn traffic
+        # running in the background.
+        op_tag = f"batch:{next(self._op_tags)}"
+        metrics.begin_operation(op_tag)
+        transport = self.network
+        tracer = transport.tracer
+        root = None
+        if tracer is not None:
+            # Root span of the batch's trace.  trace_id == op_tag, so
+            # the trace's message spans correspond 1:1 with the
+            # messages the metrics attribute to the same tag (the
+            # exact-coverage invariant the obs tests pin).  The root
+            # wraps only the synchronous kickoff below — exactly the
+            # op_tag scope — so concurrent background traffic stays
+            # outside the trace.
+            root = tracer.start_trace(op_tag, op_tag, peer=peer.node_id,
+                                      start=transport.loop.now,
+                                      queries=len(queries))
+        try:
+            with transport.operation(op_tag):
+                if root is not None:
+                    with tracer.activate(tracer.context_of(root)):
+                        batch_future = peer.execute_planned_batch(
+                            queries, plans, limit=limit,
+                            optimizer=optimizer)
+                else:
+                    batch_future = peer.execute_planned_batch(
+                        queries, plans, limit=limit, optimizer=optimizer)
+            outcomes, fetch_stats = self.loop.run_until_complete(
+                batch_future
+            )
+            messages = metrics.operation_messages(op_tag)
+            if root is not None:
+                tracer.finish(root, transport.loop.now,
+                              messages=messages)
+        finally:
+            metrics.end_operation(op_tag)
+        return outcomes, fetch_stats, messages
+
     # ------------------------------------------------------------------
     # Connectivity (§3.1) and graph reconstruction
     # ------------------------------------------------------------------

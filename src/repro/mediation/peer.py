@@ -351,6 +351,28 @@ class GridVinePeer(PGridPeer):
         return run_query_plan(self, query, strategy=strategy,
                               max_hops=max_hops, limit=limit)
 
+    def execute_planned_batch(self, queries: list[ConjunctiveQuery],
+                              plans: list[list[Any]],
+                              limit: int | None = None,
+                              optimizer: Any = None) -> Future:
+        """Run a pre-planned query batch from this peer.
+
+        The transport-boundary twin of
+        :func:`repro.engine.executor.execute_batch`: planning happens
+        wherever the mapping-graph mirror lives (a
+        :class:`~repro.engine.core.QueryEngine`, or a scale-out
+        controller), and execution happens *here*, against whatever
+        transport this peer is attached to — so the same engine batch
+        runs on the in-process loop or as a sharded submission
+        (``transport.submit(origin, "execute_planned_batch", ...)``).
+        Resolves to ``(outcomes, fetch_stats)``; both are plain data,
+        so the result crosses process-mode worker pipes unchanged.
+        """
+        from repro.engine.executor import execute_batch
+
+        return execute_batch(self, queries, plans, limit=limit,
+                             optimizer=optimizer)
+
     # -- data-layer execution ------------------------------------------
 
     def _search_pattern(self, pattern: TriplePattern,

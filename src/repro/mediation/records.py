@@ -29,6 +29,9 @@ class TripleRecord:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("TripleRecord is immutable")
 
+    def __reduce__(self):
+        return (TripleRecord, (self.triple,))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TripleRecord):
             return NotImplemented
@@ -51,6 +54,9 @@ class SchemaRecord:
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("SchemaRecord is immutable")
+
+    def __reduce__(self):
+        return (SchemaRecord, (self.schema,))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SchemaRecord):
@@ -78,6 +84,9 @@ class MappingRecord:
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("MappingRecord is immutable")
+
+    def __reduce__(self):
+        return (MappingRecord, (self.mapping,))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MappingRecord):
@@ -108,6 +117,9 @@ class IncomingMappingRecord:
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("IncomingMappingRecord is immutable")
+
+    def __reduce__(self):
+        return (IncomingMappingRecord, (self.mapping,))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IncomingMappingRecord):
@@ -140,6 +152,9 @@ class ConnectivityRecord:
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("ConnectivityRecord is immutable")
+
+    def __reduce__(self):
+        return (ConnectivityRecord, (self.schema_name, self.in_degree, self.out_degree))
 
     @property
     def degree_pair(self) -> tuple[int, int]:

@@ -40,6 +40,15 @@ import zlib
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
+from repro.mediation.keys import schema_key, triple_keys
+from repro.mediation.peer import GridVinePeer
+from repro.mediation.records import (
+    ConnectivityRecord,
+    IncomingMappingRecord,
+    MappingRecord,
+    SchemaRecord,
+    TripleRecord,
+)
 from repro.pgrid.construction import (
     assign_paths,
     replica_groups,
@@ -87,6 +96,41 @@ class ScaleoutSpec:
     timeout: float = 15.0
     max_retries: int = 1
     failover: bool = True
+    #: workload kind: ``"retrieve"`` (raw P-Grid lookups) or
+    #: ``"mediation"`` (GridVine peers with schemas, mappings and
+    #: SearchFor / engine-batch query waves).  For *bit-identical*
+    #: cross-engine mediation outcomes use ``refs_per_level=1`` and
+    #: ``replication=1``: :meth:`PGridPeer._pick_reference` is the only
+    #: rng draw on the query path, and pools of size one make routing
+    #: independent of the engines' differing same-window delivery
+    #: orders.
+    workload: str = "retrieve"
+    #: mediation corpus shape (BioDatasetGenerator knobs)
+    num_schemas: int = 6
+    num_entities: int = 120
+    entities_per_schema: int = 30
+    #: mediation query knobs: strategy / reformulation depth / result
+    #: cap for the per-wave ``SearchFor`` operations
+    strategy: str = "iterative"
+    query_max_hops: int = 4
+    query_limit: int | None = None
+    #: per wave, how many extra queries run as ONE engine batch
+    #: through the ``run_batch`` transport seam (0 = no batches)
+    batch_queries: int = 0
+    #: optional :class:`~repro.faultlab.plan.FaultPlan` installed on the
+    #: transport before traffic starts — one injector on the single-loop
+    #: engine, per-shard injectors from the same plan on the sharded
+    #: engine (see :meth:`ShardedTransport.install_fault_plan` for the
+    #: cross-shard semantics).  Plans whose clauses draw rng (drops,
+    #: delays) consume it in per-shard order, so their counters are only
+    #: comparable across engines statistically; pure time-window clauses
+    #: (:class:`~repro.faultlab.plan.Partition`) account identically.
+    faults: object | None = None
+    #: write a merged causal trace (one ``op:<ref>`` root per submitted
+    #: operation plus hop/drop spans) to this JSONL path after the run.
+    #: Trace ids follow the controller's global submit order, so traces
+    #: are comparable across engines, shard counts and worker modes.
+    trace_path: str | None = None
 
 
 @dataclass
@@ -101,6 +145,12 @@ class ScaleoutReport:
     successes: int = 0
     total_hops: int = 0
     total_attempts: int = 0
+    #: mediation-workload counters (zero on retrieve workloads)
+    rows_returned: int = 0
+    reformulations: int = 0
+    query_messages: int = 0
+    #: injected-fault accounting (empty when no plan is installed)
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
     messages_sent: int = 0
     messages_dropped: int = 0
     drops_by_reason: dict[str, int] = field(default_factory=dict)
@@ -119,7 +169,10 @@ class ScaleoutReport:
 
     @property
     def mean_hops(self) -> float:
-        wins = [o for o in self.outcomes.values() if o[0]]
+        # Retrieve summaries only — mediation summaries are tagged
+        # tuples (see ``summarize_query_outcome``) with no hop count.
+        wins = [o for o in self.outcomes.values()
+                if not isinstance(o[0], str) and o[0]]
         return (sum(o[1] for o in wins) / len(wins)) if wins else 0.0
 
     def summary(self) -> dict:
@@ -133,6 +186,10 @@ class ScaleoutReport:
             "successes": self.successes,
             "success_rate": round(self.success_rate, 6),
             "mean_hops": round(self.mean_hops, 6),
+            "rows_returned": self.rows_returned,
+            "reformulations": self.reformulations,
+            "query_messages": self.query_messages,
+            "faults_by_kind": dict(self.faults_by_kind),
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,
             "drops_by_reason": dict(self.drops_by_reason),
@@ -147,6 +204,28 @@ class ScaleoutReport:
 # ----------------------------------------------------------------------
 # Deterministic deployment (shared by both engines)
 # ----------------------------------------------------------------------
+
+@dataclass
+class MediationDeployment:
+    """The GridVine layer of a mediation-workload deployment.
+
+    Pure data derived from the spec seed: the corpus, the ground-truth
+    mapping chain (both directions of every edge, exactly what
+    ``insert_mapping`` would have published), and the query waves.
+    """
+
+    #: the generated corpus's schemas, in chain order
+    schemas: list
+    #: every mapping record the overlay holds (chain edges, both
+    #: directions) — also the engine mirror's backfill
+    mappings: list
+    #: schema name -> data triples
+    triples_by_schema: dict[str, list]
+    #: wave index -> list of (origin node id, ConjunctiveQuery)
+    query_waves: list[list[tuple[str, object]]]
+    #: wave index -> (origin node id, [queries]) engine batch, or None
+    batch_waves: list[tuple[str, list] | None]
+
 
 @dataclass
 class Deployment:
@@ -164,6 +243,8 @@ class Deployment:
     toggles: list[tuple[float, str, bool]]
     #: wave index -> list of (origin node id, needle key)
     waves: list[list[tuple[str, Key]]]
+    #: GridVine corpus + query workload (mediation workloads only)
+    mediation: MediationDeployment | None = None
 
 
 def _responsible_leaf(leaf_bits: list[str], key: Key) -> str:
@@ -195,15 +276,22 @@ def build_deployment(spec: ScaleoutSpec) -> Deployment:
               for path, members in groups_by_key.items()}
     leaf_bits = sorted(groups)
     node_ids = sorted(assignment)
-    needle_keys = list(needles)
-    waves = []
-    for wave in range(spec.num_waves):
-        rng = random.Random(f"{spec.seed}/wave/{wave}")
-        waves.append([
-            (node_ids[rng.randrange(len(node_ids))],
-             needle_keys[rng.randrange(len(needle_keys))])
-            for _ in range(spec.ops_per_wave)
-        ])
+    mediation = None
+    waves: list[list[tuple[str, object]]] = []
+    if spec.workload == "mediation":
+        mediation = _build_mediation(spec, node_ids)
+        waves = []
+    elif spec.workload == "retrieve":
+        needle_keys = list(needles)
+        for wave in range(spec.num_waves):
+            rng = random.Random(f"{spec.seed}/wave/{wave}")
+            waves.append([
+                (node_ids[rng.randrange(len(node_ids))],
+                 needle_keys[rng.randrange(len(needle_keys))])
+                for _ in range(spec.ops_per_wave)
+            ])
+    else:
+        raise ValueError(f"unknown workload {spec.workload!r}")
     toggles = (
         exponential_schedule(node_ids, spec.mean_uptime,
                              spec.mean_downtime, spec.duration,
@@ -211,7 +299,52 @@ def build_deployment(spec: ScaleoutSpec) -> Deployment:
         if spec.churn else [])
     return Deployment(assignment=assignment, tables=tables,
                       needles=needles, leaf_bits=leaf_bits, groups=groups,
-                      toggles=toggles, waves=waves)
+                      toggles=toggles, waves=waves, mediation=mediation)
+
+
+def _build_mediation(spec: ScaleoutSpec,
+                     node_ids: list[str]) -> MediationDeployment:
+    """Corpus, mapping chain and query waves for a mediation workload.
+
+    The dataset's schemas are chained with bidirectional ground-truth
+    mappings (schema i <-> schema i+1), so iterative reformulation can
+    walk the chain in both directions up to ``query_max_hops``.
+    """
+    from repro.datagen.generator import BioDatasetGenerator
+    from repro.datagen.workload import QueryWorkloadGenerator
+
+    dataset = BioDatasetGenerator(
+        num_schemas=spec.num_schemas,
+        num_entities=spec.num_entities,
+        entities_per_schema=spec.entities_per_schema,
+        seed=spec.seed,
+    ).generate()
+    names = [schema.name for schema in dataset.schemas]
+    mappings = []
+    for source, target in zip(names, names[1:]):
+        forward = dataset.ground_truth_mapping(source, target)
+        mappings.extend([forward, forward.reversed()])
+    workload = QueryWorkloadGenerator(dataset,
+                                      seed=f"{spec.seed}/queries")
+    query_waves = []
+    batch_waves: list[tuple[str, list] | None] = []
+    for wave in range(spec.num_waves):
+        rng = random.Random(f"{spec.seed}/qwave/{wave}")
+        query_waves.append([
+            (node_ids[rng.randrange(len(node_ids))], workload.next_query())
+            for _ in range(spec.ops_per_wave)
+        ])
+        if spec.batch_queries > 0:
+            batch_waves.append((
+                node_ids[rng.randrange(len(node_ids))],
+                [workload.next_query() for _ in range(spec.batch_queries)],
+            ))
+        else:
+            batch_waves.append(None)
+    return MediationDeployment(
+        schemas=list(dataset.schemas), mappings=mappings,
+        triples_by_schema=dict(dataset.triples_by_schema),
+        query_waves=query_waves, batch_waves=batch_waves)
 
 
 def _stream(*parts: object) -> random.Random:
@@ -227,11 +360,18 @@ def _stream(*parts: object) -> random.Random:
 def _make_peer(spec: ScaleoutSpec, deployment: Deployment,
                node_id: str) -> PGridPeer:
     """One peer with its private rng stream and prebuilt tables."""
-    peer = PGridPeer(
-        node_id, deployment.assignment[node_id],
-        rng=_stream(spec.seed, "peer", node_id),
-        timeout=spec.timeout, max_retries=spec.max_retries,
-        failover=spec.failover)
+    if spec.workload == "mediation":
+        peer: PGridPeer = GridVinePeer(
+            node_id, deployment.assignment[node_id],
+            rng=_stream(spec.seed, "peer", node_id),
+            timeout=spec.timeout, max_retries=spec.max_retries,
+            failover=spec.failover)
+    else:
+        peer = PGridPeer(
+            node_id, deployment.assignment[node_id],
+            rng=_stream(spec.seed, "peer", node_id),
+            timeout=spec.timeout, max_retries=spec.max_retries,
+            failover=spec.failover)
     peer.replicas, peer.routing_table = deployment.tables[node_id]
     return peer
 
@@ -248,14 +388,137 @@ def _preload(deployment: Deployment, peers: dict[str, PGridPeer]) -> None:
             peers[node_id].store.setdefault(key.bits, []).append(value)
 
 
+def _preload_mediation(deployment: Deployment,
+                       peers: dict[str, PGridPeer]) -> None:
+    """Install the GridVine corpus directly at its responsible leaves.
+
+    Mirrors what ``insert_schema`` / ``insert_triple`` /
+    ``insert_mapping`` traffic would have stored, with zero messages on
+    either engine — so the query waves start from identical overlay
+    state everywhere.  Ordering matters: mapping records land while
+    schema definitions are still absent (the connectivity republish
+    hook no-ops), and each schema holder's published-connectivity
+    cache is pre-set to the final degrees immediately before its
+    ``SchemaRecord`` lands, so the schema-insert republish compares
+    equal and never issues an overlay update.
+    """
+    med = deployment.mediation
+    assert med is not None
+
+    def place(key: Key, record: object, preset: str | None = None) -> None:
+        leaf = _responsible_leaf(deployment.leaf_bits, key)
+        for node_id in deployment.groups[leaf]:
+            peer = peers[node_id]
+            if preset is not None:
+                peer._published_connectivity[preset] = ConnectivityRecord(
+                    preset, *peer._local_degree(preset))
+            peer.local_insert(key, record)
+
+    for mapping in med.mappings:
+        place(schema_key(mapping.source_schema), MappingRecord(mapping))
+        place(schema_key(mapping.target_schema),
+              IncomingMappingRecord(mapping))
+    for triples in med.triples_by_schema.values():
+        for triple in triples:
+            record = TripleRecord(triple)
+            for key in triple_keys(triple):
+                place(key, record)
+    for schema in med.schemas:
+        place(schema_key(schema.name), SchemaRecord(schema),
+              preset=schema.name)
+
+
+# ----------------------------------------------------------------------
+# Outcome summaries (module-level: process workers pickle by reference)
+# ----------------------------------------------------------------------
+
+def _result_rows(outcome) -> tuple:
+    """An outcome's result rows as a sorted tuple of string tuples."""
+    return tuple(sorted(tuple(str(term) for term in row)
+                        for row in outcome.results))
+
+
+def summarize_query_outcome(outcome) -> tuple:
+    """Engine-comparable digest of one ``SearchFor`` outcome.
+
+    Deliberately excludes ``latency`` / ``issued_at``: the sharded
+    engine issues ops at window boundaries, so absolute times differ
+    legitimately between engines.  The controller appends the exact
+    attributed message count, making the stored summary
+    ``("q", complete, rows, reformulations, messages)``.
+    """
+    return ("q", outcome.complete, _result_rows(outcome),
+            outcome.reformulations_explored)
+
+
+def summarize_batch_result(result) -> tuple:
+    """Engine-comparable digest of one engine-batch execution."""
+    per_query = tuple(
+        ("q", o.complete, _result_rows(o), o.reformulations_explored)
+        for o in result.outcomes)
+    return ("b", per_query, result.messages, result.patterns_fetched,
+            result.patterns_total, result.scans_issued,
+            result.scans_skipped)
+
+
 # ----------------------------------------------------------------------
 # Engines
 # ----------------------------------------------------------------------
+
+def _install_inprocess_tracer(net, spec: ScaleoutSpec):
+    """A span recorder on the single loop (``trace_path`` only)."""
+    if spec.trace_path is None:
+        return None
+    from repro.obs.tracer import Tracer
+    return net.install_tracer(Tracer(seed=spec.seed))
+
+
+def _export_inprocess_trace(tracer, spec: ScaleoutSpec) -> None:
+    if tracer is None:
+        return
+    from repro.obs.tracer import export_records_jsonl, merge_records
+    export_records_jsonl(merge_records([tracer.records]), spec.trace_path)
+
+
+def _export_sharded_trace(transport, spec: ScaleoutSpec) -> None:
+    """Export the merged per-shard trace (call after ``stop()``)."""
+    if spec.trace_path is None:
+        return
+    from repro.obs.tracer import export_records_jsonl
+    export_records_jsonl(transport.trace_records(), spec.trace_path)
+
+
+def _traced_kickoff(tracer, loop, ref: int, method: str, origin: str,
+                    kickoff):
+    """Run ``kickoff`` inside a fresh ``op:<ref>`` trace root.
+
+    The single-loop mirror of ``Shard._issue``'s traced submission:
+    same trace id, same root name, same status discipline — so the two
+    engines export comparable traces for the same deployment.
+    """
+    root = tracer.start_trace(f"op:{ref}", f"op:{method}", peer=origin,
+                              start=loop.now)
+    tracer._stack.append(tracer.context_of(root))
+    try:
+        future = kickoff()
+    finally:
+        tracer._stack.pop()
+
+    def _done(f):
+        result = f.result()
+        status = "ok" if getattr(result, "success", True) else "failed"
+        tracer.finish(root, loop.now, status)
+
+    future.add_done_callback(_done)
+    return future
+
 
 def run_sharded(spec: ScaleoutSpec,
                 deployment: Deployment | None = None) -> ScaleoutReport:
     """Run the deployment on the windowed sharded transport."""
     deployment = deployment or build_deployment(spec)
+    if spec.workload == "mediation":
+        return _run_sharded_mediation(spec, deployment)
     started = time.perf_counter()
     transport = ShardedTransport(
         spec.num_shards, latency=ConstantLatency(spec.latency_delay),
@@ -268,6 +531,10 @@ def run_sharded(spec: ScaleoutSpec,
         transport.add_peer(peer, owner[node_id])
     for at, node_id, online in deployment.toggles:
         transport.set_online_at(at, node_id, online)
+    if spec.trace_path is not None:
+        transport.install_tracer()
+    if spec.faults is not None:
+        transport.install_fault_plan(spec.faults)
     transport.start()
 
     report = ScaleoutReport(engine=f"sharded/{spec.mode}",
@@ -286,12 +553,104 @@ def run_sharded(spec: ScaleoutSpec,
     transport.run_until_quiescent()
 
     stats = transport.stop()
+    _export_sharded_trace(transport, spec)
     merged = transport.metrics_snapshot()
     report.outcomes = dict(transport.completed)
     _fill_outcome_counts(report)
     report.messages_sent = merged["messages_sent"]
     report.messages_dropped = merged["messages_dropped"]
     report.drops_by_reason = merged["drops_by_reason"]
+    report.faults_by_kind = dict(merged.get("faults_by_kind", {}))
+    report.events_processed = merged["events_processed"]
+    report.per_shard_peak_rss_kb = [s["peak_rss_kb"] for s in stats]
+    report.peak_rss_kb = max(report.per_shard_peak_rss_kb)
+    report.virtual_time = transport.now
+    report.wall_clock_s = time.perf_counter() - started
+    return report
+
+
+def _run_sharded_mediation(spec: ScaleoutSpec,
+                           deployment: Deployment) -> ScaleoutReport:
+    """Mediation workload on the sharded transport.
+
+    Every query crosses the transport boundary as one attributed
+    ``search_for`` submission; engine batches go through
+    :meth:`ShardedGridVine.run_batch` (one attributed
+    ``execute_planned_batch`` submission).  All of a wave's operations
+    issue at the same window boundary, so they execute concurrently —
+    exactly like the in-process wave's synchronous kickoffs.
+    """
+    from repro.mediation.sharded import ShardedGridVine
+
+    med = deployment.mediation
+    assert med is not None
+    started = time.perf_counter()
+    transport = ShardedTransport(
+        spec.num_shards, latency=ConstantLatency(spec.latency_delay),
+        seed=spec.seed, mode=spec.mode)
+    owner = partition_paths(deployment.assignment, spec.num_shards)
+    peers = {node_id: _make_peer(spec, deployment, node_id)
+             for node_id in sorted(deployment.assignment)}
+    _preload_mediation(deployment, peers)
+    for node_id, peer in peers.items():
+        transport.add_peer(peer, owner[node_id])
+    for at, node_id, online in deployment.toggles:
+        transport.set_online_at(at, node_id, online)
+    if spec.trace_path is not None:
+        transport.install_tracer()
+    if spec.faults is not None:
+        transport.install_fault_plan(spec.faults)
+    transport.start()
+    facade = ShardedGridVine(transport, mappings=med.mappings)
+    engine = (facade.create_engine(max_hops=spec.query_max_hops)
+              if spec.batch_queries > 0 else None)
+
+    report = ScaleoutReport(engine=f"sharded/{spec.mode}",
+                            num_peers=spec.num_peers,
+                            num_shards=spec.num_shards)
+    query_refs: list[int] = []
+    next_ref = 0
+    for wave_index, wave in enumerate(med.query_waves):
+        if spec.churn:
+            transport.run_until(wave_index * spec.wave_interval)
+        for origin, query in wave:
+            ref = transport.submit(
+                origin, "search_for", query, spec.strategy,
+                spec.query_max_hops, spec.query_limit,
+                summarize=summarize_query_outcome, attribute=True)
+            query_refs.append(ref)
+            next_ref = ref + 1
+            report.ops_issued += 1
+        batch = med.batch_waves[wave_index]
+        if batch is not None:
+            # The engine submits through the facade's run_batch seam
+            # and drives the shards to quiescence, so the wave's
+            # individual queries run concurrently with the batch.
+            # Its submission consumes the next controller ref — the
+            # key the in-process leg stores the same batch under.
+            origin, queries = batch
+            result = engine.execute_batch(list(queries), origin=origin)
+            report.outcomes[next_ref] = summarize_batch_result(result)
+            next_ref += 1
+            report.ops_issued += 1
+        elif not spec.churn:
+            transport.run_until_quiescent()
+    if spec.churn:
+        transport.run_until(spec.duration)
+    transport.run_until_quiescent()
+
+    stats = transport.stop()
+    _export_sharded_trace(transport, spec)
+    merged = transport.metrics_snapshot()
+    operations = merged["operations"]
+    for ref in query_refs:
+        report.outcomes[ref] = (transport.completed[ref]
+                                + (operations.get(f"op:{ref}", 0),))
+    _fill_outcome_counts(report)
+    report.messages_sent = merged["messages_sent"]
+    report.messages_dropped = merged["messages_dropped"]
+    report.drops_by_reason = merged["drops_by_reason"]
+    report.faults_by_kind = dict(merged.get("faults_by_kind", {}))
     report.events_processed = merged["events_processed"]
     report.per_shard_peak_rss_kb = [s["peak_rss_kb"] for s in stats]
     report.peak_rss_kb = max(report.per_shard_peak_rss_kb)
@@ -304,6 +663,8 @@ def run_inprocess(spec: ScaleoutSpec,
                   deployment: Deployment | None = None) -> ScaleoutReport:
     """Run the identical deployment on the single-loop transport."""
     deployment = deployment or build_deployment(spec)
+    if spec.workload == "mediation":
+        return _run_inprocess_mediation(spec, deployment)
     started = time.perf_counter()
     net = InProcessTransport(latency=ConstantLatency(spec.latency_delay),
                              rng=random.Random(f"{spec.seed}/latency"))
@@ -312,6 +673,10 @@ def run_inprocess(spec: ScaleoutSpec,
     _preload(deployment, peers)
     for peer in peers.values():
         net.attach(peer)
+    if spec.faults is not None:
+        from repro.faultlab.injector import install_plan
+        install_plan(net, spec.faults)
+    tracer = _install_inprocess_tracer(net, spec)
     loop = net.loop
     for at, node_id, online in deployment.toggles:
         loop.schedule_at(at, net.set_online, node_id, online)
@@ -325,7 +690,12 @@ def run_inprocess(spec: ScaleoutSpec,
             loop.run_until(wave_index * spec.wave_interval)
         pending = []
         for origin, key in wave:
-            future = peers[origin].retrieve(key)
+            if tracer is None:
+                future = peers[origin].retrieve(key)
+            else:
+                future = _traced_kickoff(
+                    tracer, loop, ref, "retrieve", origin,
+                    lambda o=origin, k=key: peers[o].retrieve(k))
             future.add_done_callback(
                 lambda f, r=ref: outcomes.__setitem__(
                     r, summarize_op_result(f.result())))
@@ -338,12 +708,121 @@ def run_inprocess(spec: ScaleoutSpec,
         loop.run_until(spec.duration)
     loop.run_until_idle()
 
+    _export_inprocess_trace(tracer, spec)
     report.outcomes = outcomes
     _fill_outcome_counts(report)
     snap = net.metrics.snapshot()
     report.messages_sent = snap["messages_sent"]
     report.messages_dropped = snap["messages_dropped"]
     report.drops_by_reason = snap["drops_by_reason"]
+    report.faults_by_kind = dict(snap.get("faults_by_kind", {}))
+    report.events_processed = loop.events_processed
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report.per_shard_peak_rss_kb = [rss]
+    report.peak_rss_kb = rss
+    report.virtual_time = loop.now
+    report.wall_clock_s = time.perf_counter() - started
+    return report
+
+
+def _run_inprocess_mediation(spec: ScaleoutSpec,
+                             deployment: Deployment) -> ScaleoutReport:
+    """Mediation workload on the single-loop transport.
+
+    Mirrors the sharded leg submission for submission: queries are
+    kicked off inside ``op:<ref>`` attribution scopes (the same tags
+    the sharded controller assigns, in the same global order), engine
+    batches run through ``GridVineNetwork.run_batch``, and summaries
+    land under the same refs — so ``report.outcomes`` compares equal
+    across engines, message counts included.
+    """
+    from repro.engine.core import QueryEngine
+    from repro.mediation.network import GridVineNetwork
+
+    med = deployment.mediation
+    assert med is not None
+    started = time.perf_counter()
+    net = InProcessTransport(latency=ConstantLatency(spec.latency_delay),
+                             rng=random.Random(f"{spec.seed}/latency"))
+    peers = {node_id: _make_peer(spec, deployment, node_id)
+             for node_id in sorted(deployment.assignment)}
+    _preload_mediation(deployment, peers)
+    for peer in peers.values():
+        net.attach(peer)
+    gridvine = GridVineNetwork(net, peers,
+                               rng=random.Random(f"{spec.seed}/harness"),
+                               failover=spec.failover,
+                               refs_per_level=spec.refs_per_level)
+    engine = None
+    if spec.batch_queries > 0:
+        # Mirror backfill by replay, exactly like the sharded facade —
+        # no overlay crawl, so the engines plan from identical graphs
+        # and preload generates zero traffic on either engine.
+        engine = QueryEngine(gridvine, max_hops=spec.query_max_hops)
+        for mapping in med.mappings:
+            engine._on_mapping_event("insert", mapping)
+    if spec.faults is not None:
+        from repro.faultlab.injector import install_plan
+        install_plan(net, spec.faults)
+    tracer = _install_inprocess_tracer(net, spec)
+    loop = net.loop
+    for at, node_id, online in deployment.toggles:
+        loop.schedule_at(at, net.set_online, node_id, online)
+
+    report = ScaleoutReport(engine="inprocess", num_peers=spec.num_peers,
+                            num_shards=1)
+    metrics = net.metrics
+    pending: dict[int, tuple] = {}
+    next_ref = 0
+    for wave_index, wave in enumerate(med.query_waves):
+        if spec.churn:
+            loop.run_until(wave_index * spec.wave_interval)
+        for origin, query in wave:
+            ref = next_ref
+            next_ref += 1
+            tag = f"op:{ref}"
+            metrics.begin_operation(tag)
+            with net.operation(tag):
+                if tracer is None:
+                    future = peers[origin].search_for(
+                        query, strategy=spec.strategy,
+                        max_hops=spec.query_max_hops,
+                        limit=spec.query_limit)
+                else:
+                    future = _traced_kickoff(
+                        tracer, loop, ref, "search_for", origin,
+                        lambda o=origin, q=query: peers[o].search_for(
+                            q, strategy=spec.strategy,
+                            max_hops=spec.query_max_hops,
+                            limit=spec.query_limit))
+            future.add_done_callback(
+                lambda f, r=ref: pending.__setitem__(
+                    r, summarize_query_outcome(f.result())))
+            report.ops_issued += 1
+        batch = med.batch_waves[wave_index]
+        if batch is not None:
+            origin, queries = batch
+            result = engine.execute_batch(list(queries), origin=origin)
+            report.outcomes[next_ref] = summarize_batch_result(result)
+            next_ref += 1
+            report.ops_issued += 1
+        if not spec.churn:
+            loop.run_until_idle()
+    if spec.churn:
+        loop.run_until(spec.duration)
+    loop.run_until_idle()
+
+    for ref, summary in pending.items():
+        tag = f"op:{ref}"
+        report.outcomes[ref] = summary + (metrics.operation_messages(tag),)
+        metrics.end_operation(tag)
+    _export_inprocess_trace(tracer, spec)
+    _fill_outcome_counts(report)
+    snap = metrics.snapshot()
+    report.messages_sent = snap["messages_sent"]
+    report.messages_dropped = snap["messages_dropped"]
+    report.drops_by_reason = snap["drops_by_reason"]
+    report.faults_by_kind = dict(snap.get("faults_by_kind", {}))
     report.events_processed = loop.events_processed
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     report.per_shard_peak_rss_kb = [rss]
@@ -355,8 +834,26 @@ def run_inprocess(spec: ScaleoutSpec,
 
 def _fill_outcome_counts(report: ScaleoutReport) -> None:
     report.ops_completed = len(report.outcomes)
-    for success, hops, _latency, attempts, _n in report.outcomes.values():
-        if success:
-            report.successes += 1
-            report.total_hops += hops
-        report.total_attempts += attempts
+    for summary in report.outcomes.values():
+        tag = summary[0]
+        if tag == "q":
+            _, complete, rows, reformulations, messages = summary
+            if complete:
+                report.successes += 1
+            report.rows_returned += len(rows)
+            report.reformulations += reformulations
+            report.query_messages += messages
+        elif tag == "b":
+            (_, per_query, messages, _fetched, _total,
+             _issued, _skipped) = summary
+            if per_query and all(q[1] for q in per_query):
+                report.successes += 1
+            report.rows_returned += sum(len(q[2]) for q in per_query)
+            report.reformulations += sum(q[3] for q in per_query)
+            report.query_messages += messages
+        else:
+            success, hops, _latency, attempts, _n = summary
+            if success:
+                report.successes += 1
+                report.total_hops += hops
+            report.total_attempts += attempts

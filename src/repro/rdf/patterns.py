@@ -63,6 +63,12 @@ class TriplePattern:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("TriplePattern is immutable")
 
+    def __reduce__(self):
+        # Rebuild through the constructor: the lazily-cached hash and
+        # compiled matcher closure are caches, not state, and closures
+        # cannot cross process boundaries (sharded worker pipes).
+        return (TriplePattern, (self.subject, self.predicate, self.object))
+
     # -- structure ------------------------------------------------------
 
     def at(self, position: Position) -> Term:
@@ -314,6 +320,11 @@ class ConjunctiveQuery:
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("ConjunctiveQuery is immutable")
+
+    def __reduce__(self):
+        # Constructor round-trip (drops the lazily-cached hash), so
+        # queries pickle cleanly across sharded worker pipes.
+        return (ConjunctiveQuery, (self.patterns, self.distinguished))
 
     def variables(self) -> set[Variable]:
         """Union of all pattern variables."""

@@ -33,6 +33,13 @@ class _BaseTerm:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        # Constructor round-trip: immutability blocks slot-state
+        # unpickling, and the cached hash / pattern kind are caches —
+        # terms must pickle cleanly (sharded worker pipes carry them
+        # inside queries, plans and outcomes).
+        return (type(self), (self.value,))
+
     def __eq__(self, other: object) -> bool:
         if type(other) is not type(self):
             return NotImplemented

@@ -62,6 +62,11 @@ class Triple:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Triple is immutable")
 
+    def __reduce__(self):
+        # Constructor round-trip (drops the cached hash): triples
+        # cross sharded worker pipes inside overlay messages.
+        return (Triple, (self.subject, self.predicate, self.object))
+
     def at(self, position: Position) -> GroundTerm:
         """The term at ``position``."""
         if position is Position.SUBJECT:

@@ -45,6 +45,11 @@ class Schema:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Schema is immutable")
 
+    def __reduce__(self):
+        # Constructor round-trip: immutability blocks slot-state
+        # unpickling, and schemas cross sharded worker pipes.
+        return (Schema, (self.name, self.attributes, self.domain))
+
     def predicate(self, attribute: str) -> URI:
         """The predicate URI of one of this schema's attributes."""
         if attribute not in self.attributes:

@@ -104,9 +104,15 @@ class ShardTransport(Transport):
 
     The send path is deliberately leaner than the in-process
     transport's: per-shard metrics keep plain counters (merged at
-    collection time), there is no per-operation attribution stack, and
-    constant-latency models skip sampling entirely.  This is part of
-    the scale-out design — per-shard state stays small and flat.
+    collection time) and constant-latency models skip sampling
+    entirely.  Per-operation attribution follows the same causal
+    discipline as :class:`SimNetwork` — an open ``operation()`` scope
+    stamps outgoing envelopes and a delivered tagged envelope re-opens
+    its scope around the handler — but counting is unconditional per
+    stamped tag (no ``begin_operation`` registry), because the tag must
+    keep counting on whichever shard the causal chain lands on.  Bulk
+    workloads that never open a scope pay only a ``None`` check per
+    message.
     """
 
     def __init__(
@@ -152,6 +158,14 @@ class ShardTransport(Transport):
     def send(self, message: Message) -> None:
         loop = self._loop
         message.sent_at = loop.now
+        op_tag = message.op_tag
+        if op_tag is None:
+            # Same stamping rule as SimNetwork.send: the innermost
+            # active attribution scope rides the envelope, so causal
+            # chains keep their tag across shard boundaries.
+            op_stack = self._op_stack
+            if op_stack:
+                message.op_tag = op_tag = op_stack[-1]
         tracer = self.tracer
         if tracer is not None and message.trace is None:
             trace_stack = tracer._stack
@@ -179,6 +193,9 @@ class ShardTransport(Transport):
                                               self.rng))
             metrics.messages_sent += 1
             metrics.total_latency += delay
+            if op_tag is not None:
+                operations = metrics.operations
+                operations[op_tag] = operations.get(op_tag, 0) + 1
             if tracer is not None and message.trace is not None:
                 tracer.message_sent(message, loop.now, delay)
             if injector is not None:
@@ -203,6 +220,11 @@ class ShardTransport(Transport):
             delay = self._clamp_delay
         metrics.messages_sent += 1
         metrics.total_latency += delay
+        if op_tag is not None:
+            # Counted once, at the sender — the receiving shard only
+            # schedules the delivery, exactly like the local branch.
+            operations = metrics.operations
+            operations[op_tag] = operations.get(op_tag, 0) + 1
         if tracer is not None and message.trace is not None:
             # Recorded at the sender with the sampled (clamped) delay,
             # so the hop span is complete before the envelope crosses
@@ -219,6 +241,7 @@ class ShardTransport(Transport):
                 tracer.message_dropped(message, self._loop.now,
                                        "in_flight")
             return
+        op_tag = message.op_tag
         if message.trace is not None:
             tracer = self.tracer
             if tracer is not None:
@@ -228,11 +251,31 @@ class ShardTransport(Transport):
                 # even when that span lives in another shard's buffer.
                 trace_stack = tracer._stack
                 trace_stack.append(message.trace)
+                if op_tag is not None:
+                    op_stack = self._op_stack
+                    op_stack.append(op_tag)
+                    try:
+                        node.on_message(message)
+                    finally:
+                        op_stack.pop()
+                        trace_stack.pop()
+                    return
                 try:
                     node.on_message(message)
                 finally:
                     trace_stack.pop()
                 return
+        if op_tag is not None:
+            # Re-open the attribution scope around the handler, so
+            # forwards, replies and replica pushes inherit the tag —
+            # the same causal rule as SimNetwork._deliver.
+            op_stack = self._op_stack
+            op_stack.append(op_tag)
+            try:
+                node.on_message(message)
+            finally:
+                op_stack.pop()
+            return
         node.on_message(message)
 
     # Exact-time churn callbacks (pre-scheduled by the controller).
@@ -273,7 +316,7 @@ class Shard:
         self,
         liveness: dict[str, bool],
         toggles: list[tuple[float, str, bool]],
-        ops: list[tuple[int, str, str, tuple, Callable | None]],
+        ops: list[tuple[int, str, str, tuple, Callable | None, bool]],
         arrivals: list[tuple[float, int, int, Message]],
     ) -> None:
         transport = self.transport
@@ -282,9 +325,9 @@ class Shard:
             transport._liveness.update(liveness)
         for at, node_id, online in toggles:
             loop.schedule_at(at, self._apply_toggle, node_id, online)
-        for ref, node_id, method, args, summarize in ops:
+        for ref, node_id, method, args, summarize, attribute in ops:
             self._issue(ref, node_id, method, args,
-                        summarize or summarize_op_result)
+                        summarize or summarize_op_result, attribute)
         for deliver_time, _src_shard, _src_seq, message in arrivals:
             loop.schedule_at(deliver_time, transport._deliver, message)
 
@@ -314,35 +357,52 @@ class Shard:
             node.online = online
 
     def _issue(self, ref: int, node_id: str, method: str, args: tuple,
-               summarize: Callable) -> None:
+               summarize: Callable, attribute: bool = False) -> None:
         peer = self.transport.node(node_id)
-        tracer = self.transport.tracer
-        if tracer is None:
-            future = getattr(peer, method)(*args)
-            future.add_done_callback(
-                lambda f: self._completions.append(
-                    (ref, summarize(f.result()))))
-            return
-        # Traced submission: the op ref comes from the controller's
-        # global submit order, so the trace id — and the root span's
-        # per-peer sequence — is invariant to how peers are sharded.
-        loop = self.transport.loop
-        root = tracer.start_trace(f"op:{ref}", f"op:{method}",
-                                  peer=node_id, start=loop.now)
-        context = tracer.context_of(root)
-        tracer._stack.append(context)
+        transport = self.transport
+        tracer = transport.tracer
+        if attribute:
+            # Attributed submission: the synchronous kickoff runs
+            # inside an ``op:<ref>`` scope; every asynchronous
+            # continuation inherits the tag through the messages
+            # themselves (including across shard boundaries), so the
+            # merged per-shard ``operations`` counters give an exact
+            # per-op message count — the sharded twin of
+            # ``GridVineNetwork.search_for``'s attribution.  The tag
+            # matches the traced submission's trace id below.
+            transport._op_stack.append(f"op:{ref}")
         try:
-            future = getattr(peer, method)(*args)
+            if tracer is None:
+                future = getattr(peer, method)(*args)
+                future.add_done_callback(
+                    lambda f: self._completions.append(
+                        (ref, summarize(f.result()))))
+                return
+            # Traced submission: the op ref comes from the controller's
+            # global submit order, so the trace id — and the root
+            # span's per-peer sequence — is invariant to how peers are
+            # sharded.
+            loop = transport.loop
+            root = tracer.start_trace(f"op:{ref}", f"op:{method}",
+                                      peer=node_id, start=loop.now)
+            context = tracer.context_of(root)
+            tracer._stack.append(context)
+            try:
+                future = getattr(peer, method)(*args)
+            finally:
+                tracer._stack.pop()
+
+            def _done(f: Any) -> None:
+                result = f.result()
+                status = "ok" if getattr(result, "success", True) \
+                    else "failed"
+                tracer.finish(root, loop.now, status)
+                self._completions.append((ref, summarize(result)))
+
+            future.add_done_callback(_done)
         finally:
-            tracer._stack.pop()
-
-        def _done(f: Any) -> None:
-            result = f.result()
-            status = "ok" if getattr(result, "success", True) else "failed"
-            tracer.finish(root, loop.now, status)
-            self._completions.append((ref, summarize(result)))
-
-        future.add_done_callback(_done)
+            if attribute:
+                transport._op_stack.pop()
 
     def stats(self) -> dict:
         """Final per-shard report (metrics + footprint + spans)."""
@@ -352,9 +412,15 @@ class Shard:
             "shard": self.shard_id,
             "peers": len(self.transport._nodes),
             "metrics": self.transport.metrics.snapshot(),
+            # Per-op attribution counters (not part of the generic
+            # metrics snapshot): every tag this shard's traffic carried.
+            "operations": dict(self.transport.metrics.operations),
             "events_processed": self.transport.loop.events_processed,
             "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         }
+        injector = self.transport.fault_injector
+        if injector is not None:
+            report["faults_injected"] = dict(injector.injected)
         tracer = self.transport.tracer
         if tracer is not None:
             # Span records are plain dicts, so process-mode workers
@@ -391,7 +457,7 @@ class _WindowInput:
 
     liveness: dict[str, bool] = field(default_factory=dict)
     toggles: list[tuple[float, str, bool]] = field(default_factory=list)
-    ops: list[tuple[int, str, str, tuple, Callable | None]] = field(
+    ops: list[tuple[int, str, str, tuple, Callable | None, bool]] = field(
         default_factory=list)
     arrivals: list[tuple[float, int, int, Message]] = field(
         default_factory=list)
@@ -538,6 +604,41 @@ class ShardedTransport:
                        if shard.transport.tracer is not None]
         return merge_records(buffers)
 
+    def install_fault_plan(self, plan: Any) -> Any:
+        """Install one :class:`~repro.faultlab.injector.FaultInjector`
+        per shard, all driven by the same :class:`FaultPlan`.
+
+        Per-clause RNG streams are seeded by ``(plan.seed, clause,
+        ordinal)`` on every shard, and each shard consumes its streams
+        in its own deterministic event order — so a faulted sharded run
+        replays bit-identically from its seed, inline or forked.  Must
+        run before :meth:`start` in process mode (injectors fork with
+        the shards, and their epoch is the common barrier time 0).
+
+        Semantics across the shard boundary: partitions and drop
+        clauses are send-side and apply to *all* traffic (including
+        cross-shard envelopes); delay/duplicate/reorder clauses own
+        delivery scheduling and therefore apply to intra-shard
+        deliveries only (cross-shard envelopes are latency-stamped at
+        the sender and exchanged at the barrier).  Crash/restart
+        clauses fire on the owning shard exactly; remote shards keep
+        sending until the owner drops the deliveries as ``in_flight``
+        — the same one-window staleness as barrier-start liveness.
+
+        Returns an :class:`~repro.faultlab.injector.InstalledPlan`
+        aggregating the per-shard injectors.
+        """
+        from repro.faultlab.injector import FaultInjector, InstalledPlan
+
+        if self._started and self.mode == "process":
+            raise SimulationError(
+                "install_fault_plan must run before start() in "
+                "process mode")
+        return InstalledPlan([
+            FaultInjector(shard.transport, plan).install()
+            for shard in self.shards
+        ])
+
     # -- process workers -----------------------------------------------
 
     def start(self) -> None:
@@ -584,18 +685,27 @@ class ShardedTransport:
     # -- external inputs -----------------------------------------------
 
     def submit(self, node_id: str, method: str, *args: Any,
-               summarize: Callable | None = None) -> int:
+               summarize: Callable | None = None,
+               attribute: bool = False) -> int:
         """Queue ``peer.<method>(*args)`` for the owner's next window.
 
         The call is issued at the window boundary (all logical clocks
         agree there); the future's result, reduced by ``summarize``
         (default :func:`summarize_op_result`), lands in
-        :attr:`completed` under the returned ref.
+        :attr:`completed` under the returned ref.  In process mode the
+        args and the summary must be picklable, and ``summarize`` must
+        be a module-level function.
+
+        ``attribute=True`` opens an ``op:<ref>`` attribution scope
+        around the submission: every message the operation causes —
+        on any shard — is counted under that tag in the merged
+        :meth:`metrics_snapshot` ``operations`` dict.  Bulk workloads
+        leave it off and pay nothing.
         """
         ref = next(self._refs)
         shard_id = self._owner_of[node_id]
         self._inputs[shard_id].ops.append(
-            (ref, node_id, method, args, summarize))
+            (ref, node_id, method, args, summarize, attribute))
         return ref
 
     def set_online_at(self, time: float, node_id: str, online: bool) -> None:
@@ -778,24 +888,48 @@ class ShardedTransport:
             if horizon == float("inf"):
                 # Quiet jump with no external bound: only toggles are
                 # left, so one window covering them all drains the run.
-                horizon = max(
-                    t for t, _s, _n, _o
-                    in self._toggles[self._toggle_event_cursor:])
+                # busy() implies the toggle tail is non-empty here (the
+                # other busy sources all bound _next_horizon), but an
+                # empty tail must not crash an empty-workload run — fall
+                # back to one plain window.
+                tail = self._toggles[self._toggle_event_cursor:]
+                horizon = (max(t for t, _s, _n, _o in tail) if tail
+                           else self._now + self.window)
             self._step(horizon)
             windows += 1
 
     # -- reporting -----------------------------------------------------
 
+    def shard_stats(self) -> list[dict]:
+        """Live per-shard stats reports, safe to call mid-run.
+
+        Inline mode reads the shard objects directly.  Process mode
+        fetches fresh reports over the workers' ``stats`` pipes — the
+        parent-side shard objects stopped advancing at the fork, so
+        reading them would silently report the pre-fork zeros.  After
+        :meth:`stop`, the final collected reports are returned.
+        """
+        if self._final_stats is not None:
+            return self._final_stats
+        if self.mode == "process" and self._started:
+            if not self._conns:
+                raise SimulationError(
+                    "process workers are gone without final stats; "
+                    "call stop() to collect them")
+            for conn in self._conns:
+                conn.send(("stats",))
+            return [conn.recv() for conn in self._conns]
+        return [shard.stats() for shard in self.shards]
+
     def metrics_snapshot(self) -> dict:
-        """Merged per-shard metrics (inline mode only before stop())."""
-        stats = (self._final_stats if self._final_stats is not None
-                 else [shard.stats() for shard in self.shards])
+        """Merged per-shard metrics (live mid-run, final after stop())."""
         merged: dict[str, Any] = {
             "messages_sent": 0, "messages_dropped": 0,
             "events_processed": 0, "drops_by_reason": {},
+            "faults_by_kind": {}, "operations": {},
             "per_shard_peak_rss_kb": [],
         }
-        for entry in stats:
+        for entry in self.shard_stats():
             snap = entry["metrics"]
             merged["messages_sent"] += snap["messages_sent"]
             merged["messages_dropped"] += snap["messages_dropped"]
@@ -803,5 +937,13 @@ class ShardedTransport:
             for reason, count in snap["drops_by_reason"].items():
                 merged["drops_by_reason"][reason] = (
                     merged["drops_by_reason"].get(reason, 0) + count)
+            for kind, count in snap["faults_by_kind"].items():
+                merged["faults_by_kind"][kind] = (
+                    merged["faults_by_kind"].get(kind, 0) + count)
+            for op_tag, count in entry.get("operations", {}).items():
+                # A cross-shard operation's tag appears on every shard
+                # its causal chain touched; the per-op total is the sum.
+                merged["operations"][op_tag] = (
+                    merged["operations"].get(op_tag, 0) + count)
             merged["per_shard_peak_rss_kb"].append(entry["peak_rss_kb"])
         return merged

@@ -21,7 +21,19 @@ Fault injection is a transport-layer concern: the two hook points that
 :class:`~repro.faultlab.injector.FaultInjector` uses — a send-time drop
 verdict (``on_send``) and ownership of delivery scheduling
 (``dispatch``) — are defined here, so the same fault plans apply to any
-transport.
+transport.  One :class:`~repro.faultlab.plan.FaultPlan` installs as a
+single injector on the single-loop transport or as per-shard injectors
+on the sharded one (:meth:`ShardedTransport.install_fault_plan`), and
+rng-free clauses (partitions) account identically on both.
+
+The mediation layer rides the same boundary: per-operation attribution
+scopes (``operation`` / ``op:<ref>`` tags) stick to messages and follow
+causal chains across shards, so a GridVine ``SearchFor`` or an engine
+batch submitted through either transport reports the *exact* same
+per-query message count — the invariant the sharded-mediation tests pin
+bit-for-bit (``tests/test_sharded_mediation.py``).  Tracing uses the
+same discipline: span recorders install per transport (per shard on the
+sharded engine) and export merged, deterministically ordered records.
 """
 
 from __future__ import annotations

@@ -44,6 +44,11 @@ class Relation:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Relation is immutable")
 
+    def __reduce__(self):
+        # Constructor round-trip: immutability blocks slot-state
+        # unpickling, and result relations cross sharded worker pipes.
+        return (Relation, (self.columns, self.rows))
+
     # -- accessors ------------------------------------------------------
 
     def __len__(self) -> int:

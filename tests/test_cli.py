@@ -229,3 +229,53 @@ class TestTraceCommand:
         assert "trace: written to" in capsys.readouterr().out
         from repro.obs.analysis import load_jsonl
         assert load_jsonl(str(path))
+
+
+class TestScaleoutCommand:
+    def test_retrieve_run_prints_report(self, capsys):
+        code = main(["scaleout", "--peers", "60", "--shards", "2",
+                     "--keys", "10", "--ops", "5", "--waves", "1",
+                     "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded/inline" in out
+        assert "success_rate" in out
+
+    def test_mediation_workload_flag(self, capsys):
+        code = main(["scaleout", "--peers", "60", "--shards", "2",
+                     "--keys", "10", "--ops", "3", "--waves", "1",
+                     "--seed", "3", "--workload", "mediation"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SearchFor queries" in out
+        assert "rows_returned" in out
+
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "scaleout.jsonl"
+        code = main(["scaleout", "--peers", "60", "--shards", "2",
+                     "--keys", "10", "--ops", "3", "--waves", "1",
+                     "--seed", "3", "--workload", "mediation",
+                     "--trace", str(path)])
+        assert code == 0
+        assert "trace: written to" in capsys.readouterr().out
+        from repro.obs.analysis import load_jsonl, trace_ids
+        records = load_jsonl(str(path))
+        assert records
+        assert all(t.startswith("op:") for t in trace_ids(records))
+
+    def test_trace_identical_across_engines_is_not_required_but_loads(
+            self, tmp_path):
+        # The inprocess engine exports the same trace-id scheme, so one
+        # `repro trace` invocation can analyze either engine's output.
+        path = tmp_path / "inproc.jsonl"
+        code = main(["scaleout", "--engine", "inprocess", "--peers", "60",
+                     "--keys", "10", "--ops", "3", "--waves", "1",
+                     "--seed", "3", "--trace", str(path)])
+        assert code == 0
+        from repro.obs.analysis import load_jsonl, trace_ids
+        assert all(t.startswith("op:")
+                   for t in trace_ids(load_jsonl(str(path))))
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scaleout", "--workload", "raw"])
